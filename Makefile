@@ -1,0 +1,19 @@
+# Convenience targets for the VRL-DRAM reproduction.
+
+.PHONY: install test bench repro clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+repro:
+	vrl-dram all
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

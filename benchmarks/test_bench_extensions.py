@@ -1,0 +1,73 @@
+"""Benchmarks for the beyond-the-paper studies (validation, rank, ablations)."""
+
+from repro.experiments import (
+    run_guard_ablation,
+    run_nbits_ablation,
+    run_rank_comparison,
+    run_sensitivity,
+    run_validation,
+)
+from repro.retention import VRTParameters
+from repro.technology import BankGeometry
+
+
+class TestValidation:
+    def test_model_vs_circuit_suite(self, benchmark):
+        result = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+        print()
+        print(result.format())
+        assert next(
+            r for r in result.rows if r[0].startswith("sense amp")
+        )[2] == "resolved"
+
+
+class TestRank:
+    def test_eight_bank_comparison(self, benchmark):
+        result = benchmark.pedantic(
+            run_rank_comparison,
+            kwargs={
+                "geometry": BankGeometry(512, 32),
+                "n_banks": 8,
+                "duration_seconds": 0.3,
+            },
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.format())
+        cycles = {row[0]: row[1] for row in result.rows}
+        assert cycles["vrl"] < cycles["raidr"] < cycles["fixed"]
+
+
+class TestAblations:
+    def test_nbits(self, benchmark):
+        result = benchmark.pedantic(
+            run_nbits_ablation,
+            kwargs={"geometry": BankGeometry(2048, 16), "widths": (1, 2, 3, 4)},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.format())
+
+    def test_guard(self, benchmark):
+        result = benchmark.pedantic(
+            run_guard_ablation,
+            kwargs={
+                "geometry": BankGeometry(2048, 16),
+                "guards": (1.0, 0.75),
+                "vrt": VRTParameters(affected_fraction=0.1, min_degradation=0.75),
+            },
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.format())
+        by_guard = {row[0]: row for row in result.rows}
+        assert by_guard["0.75"][3] == 0
+
+    def test_sensitivity(self, benchmark):
+        result = benchmark(run_sensitivity)
+        print()
+        print(result.format())
+        assert result.rows[0][0] in {"cbl_fixed", "ron_sense"}

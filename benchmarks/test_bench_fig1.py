@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Fig. 1a and Fig. 1b."""
+
+import numpy as np
+
+from repro.experiments import run_fig1a, run_fig1b
+
+
+class TestFig1a:
+    def test_model_curve(self, benchmark):
+        """Fig. 1a from the analytical model alone (fast path)."""
+        result = benchmark(run_fig1a, with_spice=False)
+        print()
+        print(result.format())
+        note = result.notes["tRFC fraction to reach 95% charge (model)"]
+        assert abs(float(note.rstrip("%")) - 60) < 5  # paper: ~60%
+
+    def test_with_spice_lite(self, benchmark):
+        """Fig. 1a cross-checked against the MNA refresh transient."""
+        benchmark.pedantic(run_fig1a, kwargs={"with_spice": True}, rounds=1, iterations=1)
+
+
+class TestFig1b:
+    def test_trajectories(self, benchmark):
+        result = benchmark(run_fig1b)
+        print()
+        print(result.format())
+        # The Observation 2 story must hold: full-refresh schedule safe,
+        # back-to-back partials not.
+        assert result.notes["data loss under back-to-back partials"] is True
+        full = np.array(result.column("% charge (full refresh)"))
+        assert full.min() > 100 * 0.625

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Fig. 3 (retention distribution + binning)."""
+
+from repro.experiments import run_fig3
+from repro.experiments.fig3 import PAPER_BIN_COUNTS
+
+
+class TestFig3:
+    def test_profile_and_bin(self, benchmark):
+        """Profile 262144 cells, reduce to row minima, bin (Fig. 3a+3b)."""
+        result = benchmark(run_fig3)
+        print()
+        print(result.format())
+        for period_ms, paper in PAPER_BIN_COUNTS.items():
+            note = result.notes[f"  {period_ms} ms bin"]
+            measured = int(note.split()[0])
+            assert abs(measured - paper) <= max(10, 0.15 * paper), note

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Fig. 5 (equalization accuracy comparison)."""
+
+from repro.experiments import run_fig5
+
+
+class TestFig5:
+    def test_three_way_comparison(self, benchmark):
+        """2-phase model vs Li et al. vs SPICE-lite on the bitline pair."""
+        result = benchmark.pedantic(run_fig5, rounds=2, iterations=1)
+        print()
+        print(result.format())
+        assert result.notes["two-phase model closer to SPICE"] is True

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the Sec. 3.1 latency determination."""
+
+from repro.experiments import run_latency_breakdown
+
+
+class TestSec31:
+    def test_optimizer_sweep(self, benchmark):
+        """The tau_partial sweep over the binned profile (Sec. 3.1)."""
+        result = benchmark(run_latency_breakdown)
+        print()
+        print(result.format())
+        assert "-> 11 cycles" in result.notes["tau_partial breakdown"]
+        assert "-> 19 cycles" in result.notes["tau_full breakdown"]
+        assert result.notes["selected restore fraction"] == "0.95"

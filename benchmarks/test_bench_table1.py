@@ -1,0 +1,48 @@
+"""Benchmarks regenerating Table 1 (model accuracy/runtime trade-off)."""
+
+from repro.experiments import run_table1
+from repro.model import PreSensingModel, SingleCellModel
+from repro.technology import TABLE1_GEOMETRIES, DEFAULT_TECH
+
+
+class TestTable1:
+    def test_models_only(self, benchmark):
+        """The analytical + single-cell columns (milliseconds)."""
+        result = benchmark(run_table1, with_spice=False)
+        print()
+        print(result.format())
+        assert result.column("our model") == [7, 8, 9, 10, 12, 14]
+
+    def test_with_spice_lite(self, benchmark):
+        """The full table including six MNA transients (seconds)."""
+        result = benchmark.pedantic(
+            run_table1, kwargs={"with_spice": True}, rounds=1, iterations=1
+        )
+        print()
+        print(result.format())
+        # Runtime ordering claim of Table 1: circuit sim slowest by
+        # orders of magnitude, models fast.
+        assert all(col != "-" for col in result.column("SPICE-lite"))
+
+
+class TestTable1Components:
+    """Per-approach microbenchmarks (the 'Simulation time' columns)."""
+
+    def test_analytical_model_single_estimate(self, benchmark):
+        tech = DEFAULT_TECH
+        geometry = TABLE1_GEOMETRIES[2]  # 8192x32
+
+        def run():
+            return PreSensingModel(tech, geometry).delay_cycles(
+                tech.tck_dev, criterion="settle"
+            )
+
+        assert benchmark(run) == 9
+
+    def test_single_cell_estimate(self, benchmark):
+        tech = DEFAULT_TECH
+
+        def run():
+            return SingleCellModel(tech).presensing_cycles(tech.tck_dev)
+
+        assert benchmark(run) == 6

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table 2 (area overhead)."""
+
+import pytest
+
+from repro.experiments import run_table2
+
+
+class TestTable2:
+    def test_area_table(self, benchmark):
+        result = benchmark(run_table2)
+        print()
+        print(result.format())
+        areas = [float(a) for a in result.column("logic area (um2)")]
+        for got, paper in zip(areas, (105, 152, 200)):
+            assert got == pytest.approx(paper, rel=0.06)

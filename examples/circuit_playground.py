@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Driving the SPICE-lite circuit simulator directly.
+
+Renders ASCII waveforms of the three Fig. 2 circuits — equalization,
+charge sharing, and a complete refresh (equalize -> share -> sense ->
+restore) — straight from the MNA transient solver, and compares the
+analytical model's prediction on top.
+
+Run:  python examples/circuit_playground.py
+"""
+
+import numpy as np
+
+from repro import DEFAULT_GEOMETRY, DEFAULT_TECH, EqualizationModel
+from repro.circuit import (
+    simulate_equalization,
+    simulate_presensing,
+    simulate_refresh_trajectory,
+)
+
+
+def ascii_plot(title, time_ns, series, height=12, width=68):
+    """Print a crude multi-series ASCII chart (one glyph per series)."""
+    print(f"-- {title} --")
+    glyphs = "*o+x"
+    all_values = np.concatenate([v for _, v in series])
+    lo, hi = float(all_values.min()), float(all_values.max())
+    span = max(hi - lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    t0, t1 = float(time_ns[0]), float(time_ns[-1])
+    for glyph, (label, values) in zip(glyphs, series):
+        for t, v in zip(time_ns, values):
+            col = int((t - t0) / (t1 - t0) * (width - 1))
+            row = int((v - lo) / span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    for i, line in enumerate(grid):
+        level = hi - span * i / (height - 1)
+        print(f"{level:6.2f}V |{''.join(line)}|")
+    print(f"        {t0:.1f} ns{' ' * (width - 12)}{t1:.1f} ns")
+    for glyph, (label, _) in zip(glyphs, series):
+        print(f"   {glyph} = {label}")
+    print()
+
+
+def main() -> None:
+    tech, geometry = DEFAULT_TECH, DEFAULT_GEOMETRY
+
+    # 1. Equalization (Fig. 2a / Fig. 5) + the two-phase model overlay.
+    result = simulate_equalization(tech, geometry, t_stop=3e-9, dt=5e-12)
+    ts = np.linspace(0, 3e-9, 60)
+    model = EqualizationModel(tech, geometry)
+    ascii_plot(
+        "equalization: bitline pair driven to Veq",
+        ts * 1e9,
+        [
+            ("Bi (SPICE-lite)", np.array([result.at("bl", float(t)) for t in ts])),
+            ("~Bi (SPICE-lite)", np.array([result.at("blb", float(t)) for t in ts])),
+            ("Bi (2-phase model)", model.waveform(np.maximum(ts - 0.05e-9, 0))),
+        ],
+    )
+
+    # 2. Charge sharing (Fig. 2b): the cell dumps charge on the bitline.
+    result = simulate_presensing(tech, geometry, t_stop=8e-9, dt=10e-12)
+    ts = np.linspace(0, 8e-9, 60)
+    ascii_plot(
+        "charge sharing: victim cell vs its bitline",
+        ts * 1e9,
+        [
+            ("cell", np.array([result.at("cell2", float(t)) for t in ts])),
+            ("bitline (SA end)", np.array([result.at("bl2_sa", float(t)) for t in ts])),
+        ],
+    )
+
+    # 3. Full refresh: the Fig. 1a trajectory.
+    result = simulate_refresh_trajectory(
+        tech, geometry, v_cell_initial=tech.v_fail, t_stop=40e-9
+    )
+    ts = np.linspace(0, 40e-9, 60)
+    ascii_plot(
+        "full refresh of a weak cell: equalize, share, sense, restore",
+        ts * 1e9,
+        [
+            ("cell", np.array([result.at("cell", float(t)) for t in ts])),
+            ("bitline", np.array([result.at("bl", float(t)) for t in ts])),
+            ("~bitline", np.array([result.at("blb", float(t)) for t in ts])),
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

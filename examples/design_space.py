@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Design-space exploration with the analytical model and optimizer.
+
+Three sweeps a DRAM architect would run with this library:
+
+1. **counter width** — how much overhead reduction does each extra
+   ``nbits`` of MPRSF/rcount storage buy, and at what area cost
+   (extends Table 2 with its performance consequence);
+2. **profiling guard band** — the safety/performance trade-off of the
+   VRT margin;
+3. **bank geometry** — how the full/partial refresh latencies scale to
+   other array sizes (the "can be extended with small effort" claim of
+   Sec. 4).
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro import (
+    AreaModel,
+    DEFAULT_TECH,
+    RefreshBinning,
+    RefreshLatencyModel,
+    RetentionProfiler,
+    TABLE1_GEOMETRIES,
+)
+from repro.mprsf import MPRSFCalculator, TauPartialOptimizer
+
+
+def sweep_nbits(profile, binning) -> None:
+    print("== counter width: overhead reduction vs area ==")
+    print(f"{'nbits':>5} {'mprsf cap':>9} {'VRL/RAIDR':>10} {'logic um2':>10} {'% bank':>7}")
+    area = AreaModel()
+    for nbits in (1, 2, 3, 4, 5):
+        optimizer = TauPartialOptimizer(DEFAULT_TECH, nbits=nbits)
+        best = optimizer.optimize(profile, binning).best
+        estimate = area.estimate(nbits)
+        print(
+            f"{nbits:>5} {optimizer.mprsf_cap:>9} {best.overhead_vs_raidr:>10.3f} "
+            f"{estimate.logic_area_um2:>10.0f} {100 * estimate.fraction_of_bank:>6.2f}%"
+        )
+    print()
+
+
+def sweep_guard(profile, binning) -> None:
+    print("== profiling guard band: safety margin vs overhead ==")
+    print(f"{'guard':>6} {'VRL/RAIDR':>10} {'mean MPRSF':>10} {'0-MPRSF rows':>12}")
+    for guard in (1.0, 0.9, 0.8, 0.75, 0.6, 0.5):
+        tech = DEFAULT_TECH.scaled(retention_guard=guard)
+        optimizer = TauPartialOptimizer(tech)
+        best = optimizer.evaluate(profile, binning, tech.partial_restore_fraction)
+        print(
+            f"{guard:>6.2f} {best.overhead_vs_raidr:>10.3f} "
+            f"{best.mean_mprsf:>10.2f} {best.zero_mprsf_rows:>12}"
+        )
+    print()
+
+
+def sweep_geometry() -> None:
+    print("== bank geometry: refresh latencies (controller cycles) ==")
+    print(f"{'bank':>10} {'tau_partial':>11} {'tau_full':>8} {'partial/full':>12}")
+    for geometry in TABLE1_GEOMETRIES:
+        model = RefreshLatencyModel(DEFAULT_TECH, geometry)
+        partial = model.partial_refresh().total_cycles
+        full = model.full_refresh().total_cycles
+        print(f"{str(geometry):>10} {partial:>11} {full:>8} {partial / full:>12.2f}")
+    print()
+
+
+def mprsf_landscape(profile, binning) -> None:
+    print("== MPRSF landscape at the chosen operating point ==")
+    calc = MPRSFCalculator(DEFAULT_TECH)
+    mprsf = calc.mprsf_for_rows(profile.row_retention, binning.row_period, max_count=3)
+    hist = np.bincount(mprsf, minlength=4)
+    for value, count in enumerate(hist):
+        print(f"  MPRSF={value}: {count} rows")
+    print()
+
+
+def main() -> None:
+    profile = RetentionProfiler().profile()
+    binning = RefreshBinning().assign(profile)
+    sweep_nbits(profile, binning)
+    sweep_guard(profile, binning)
+    sweep_geometry()
+    mprsf_landscape(profile, binning)
+
+
+if __name__ == "__main__":
+    main()

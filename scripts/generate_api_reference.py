@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Generate docs/api_reference.md from the package's docstrings.
+
+Walks the public API (everything exported via ``__all__``), pulling the
+first paragraph of each docstring and the public methods of each class.
+Run after API changes::
+
+    python scripts/generate_api_reference.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from pathlib import Path
+
+PACKAGES = [
+    "repro",
+    "repro.circuit",
+    "repro.model",
+    "repro.retention",
+    "repro.mprsf",
+    "repro.controller",
+    "repro.sim",
+    "repro.workloads",
+    "repro.power",
+    "repro.area",
+    "repro.experiments",
+]
+
+OUTPUT = Path(__file__).resolve().parent.parent / "docs" / "api_reference.md"
+
+
+def first_paragraph(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.split("\n\n")[0].replace("\n", " ").strip()
+
+
+def describe_member(name: str, obj) -> list[str]:
+    lines = [f"### `{name}`", "", first_paragraph(obj), ""]
+    if inspect.isclass(obj):
+        methods = []
+        for method_name in sorted(vars(obj)):
+            if method_name.startswith("_"):
+                continue
+            attribute = getattr(obj, method_name, None)
+            if inspect.isfunction(attribute) or isinstance(
+                vars(obj).get(method_name), property
+            ):
+                summary = first_paragraph(attribute)
+                kind = "property" if isinstance(vars(obj)[method_name], property) else "method"
+                methods.append(f"- **{method_name}** ({kind}) — {summary}")
+        if methods:
+            lines.extend(methods)
+            lines.append("")
+    return lines
+
+
+def main() -> None:
+    lines = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `scripts/generate_api_reference.py`;",
+        "do not edit by hand.  One entry per `__all__` export, first",
+        "docstring paragraph only — follow the source links for details.",
+        "",
+    ]
+    seen: set[int] = set()
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        exports = [n for n in getattr(package, "__all__", []) if n != "__version__"]
+        if not exports:
+            continue
+        lines.append(f"## `{package_name}`")
+        lines.append("")
+        lines.append(first_paragraph(package))
+        lines.append("")
+        for name in exports:
+            obj = getattr(package, name)
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if id(obj) in seen:
+                continue  # re-exported at top level already
+            seen.add(id(obj))
+            lines.extend(describe_member(name, obj))
+    OUTPUT.write_text("\n".join(lines) + "\n")
+    print(f"wrote {OUTPUT} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()

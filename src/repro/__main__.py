@@ -1,0 +1,8 @@
+"""``python -m repro`` — alias for the ``vrl-dram`` CLI."""
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

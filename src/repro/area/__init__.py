@@ -1,0 +1,5 @@
+"""90nm standard-cell area estimation for the VRL-DRAM logic (Table 2)."""
+
+from .synthesis import AreaEstimate, AreaModel
+
+__all__ = ["AreaEstimate", "AreaModel"]

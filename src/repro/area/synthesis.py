@@ -1,0 +1,127 @@
+"""Gate-equivalent area model for the VRL-DRAM controller logic (Table 2).
+
+The paper synthesizes the Sec. 3.2 logic at 90nm [37] and reports
+105 / 152 / 200 um^2 for ``nbits`` = 2 / 3 / 4, i.e. 0.97% / 1.4% /
+1.85% of a DRAM bank.  We reproduce this with a standard gate-equivalent
+(GE) estimate of the refresh-decision datapath of Algorithm 1:
+
+* two ``nbits``-wide registers (the active row's ``mprsf`` and
+  ``rcount`` values staged for comparison) — 5 GE per flip-flop;
+* an ``nbits``-wide equality comparator (XNOR + AND tree) — 2 GE/bit;
+* an ``nbits``-wide incrementer (half-adder chain) — 3 GE/bit;
+* fixed control (latency mux select, reset, FSM) — 6 GE.
+
+One GE is a 2-input NAND, ~3.0 um^2 at 90nm.  The bank reference area
+uses the classic 5F^2 folded-bitline DRAM cell at F = 90 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..technology import BankGeometry, DEFAULT_GEOMETRY
+from ..units import NM, UM2
+
+#: Area of one gate equivalent (2-input NAND) at 90nm, m^2.
+GATE_AREA_90NM = 3.0 * UM2
+
+#: DRAM cell area factor: 5 F^2 (folded bitline).
+CELL_AREA_F2 = 5.0
+
+#: Feature size of the paper's technology node.
+FEATURE_SIZE = 90 * NM
+
+#: Gate equivalents per flip-flop.
+GE_PER_FLIPFLOP = 5.0
+
+#: Gate equivalents per comparator bit (XNOR + AND-tree share).
+GE_PER_COMPARATOR_BIT = 2.0
+
+#: Gate equivalents per incrementer bit (half-adder chain).
+GE_PER_INCREMENTER_BIT = 3.0
+
+#: Fixed control overhead (mux select, reset, FSM).
+GE_CONTROL = 6.0
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Area result for one ``nbits`` configuration (Table 2 row).
+
+    Attributes:
+        nbits: counter width.
+        gate_equivalents: total GE count of the decision logic.
+        logic_area: logic area in m^2.
+        bank_area: reference DRAM bank area in m^2.
+        fraction_of_bank: ``logic_area / bank_area`` (the Table 2
+            percentage when multiplied by 100).
+    """
+
+    nbits: int
+    gate_equivalents: float
+    logic_area: float
+    bank_area: float
+
+    @property
+    def fraction_of_bank(self) -> float:
+        """Logic area as a fraction of the bank area."""
+        return self.logic_area / self.bank_area
+
+    @property
+    def logic_area_um2(self) -> float:
+        """Logic area in um^2 (the Table 2 unit)."""
+        return self.logic_area / UM2
+
+
+class AreaModel:
+    """Estimates Table 2's logic area and bank-area percentage.
+
+    Args:
+        geometry: the DRAM bank the logic serves (Table 2 uses 8192x32).
+        gate_area: area of one gate equivalent; defaults to the 90nm
+            NAND2.
+        cell_area_f2: DRAM cell size in F^2 units.
+        feature_size: technology feature size F.
+    """
+
+    def __init__(
+        self,
+        geometry: BankGeometry = DEFAULT_GEOMETRY,
+        gate_area: float = GATE_AREA_90NM,
+        cell_area_f2: float = CELL_AREA_F2,
+        feature_size: float = FEATURE_SIZE,
+    ):
+        if gate_area <= 0 or cell_area_f2 <= 0 or feature_size <= 0:
+            raise ValueError("areas and feature size must be positive")
+        self.geometry = geometry
+        self.gate_area = gate_area
+        self.cell_area_f2 = cell_area_f2
+        self.feature_size = feature_size
+
+    def gate_equivalents(self, nbits: int) -> float:
+        """GE count of the Algorithm 1 decision datapath."""
+        if nbits < 1:
+            raise ValueError(f"nbits must be >= 1, got {nbits}")
+        registers = 2 * nbits * GE_PER_FLIPFLOP
+        comparator = nbits * GE_PER_COMPARATOR_BIT
+        incrementer = nbits * GE_PER_INCREMENTER_BIT
+        return registers + comparator + incrementer + GE_CONTROL
+
+    def bank_area(self) -> float:
+        """Reference bank area: cells at ``cell_area_f2 * F^2`` (m^2)."""
+        cell = self.cell_area_f2 * self.feature_size**2
+        return self.geometry.cells * cell
+
+    def estimate(self, nbits: int) -> AreaEstimate:
+        """Full Table 2 row for one counter width."""
+        ge = self.gate_equivalents(nbits)
+        return AreaEstimate(
+            nbits=nbits,
+            gate_equivalents=ge,
+            logic_area=ge * self.gate_area,
+            bank_area=self.bank_area(),
+        )
+
+    def table(self, widths: tuple[int, ...] = (2, 3, 4)) -> list[AreaEstimate]:
+        """Table 2: one estimate per counter width."""
+        return [self.estimate(n) for n in widths]

@@ -1,0 +1,72 @@
+"""SPICE-equivalent transient circuit simulation substrate.
+
+The paper validates its analytical model against "detailed SPICE
+simulations" (Fig. 5, Table 1).  This package provides that reference:
+a small modified-nodal-analysis (MNA) transient simulator with
+backward-Euler integration and Newton-Raphson handling of square-law
+MOSFET models, plus netlist builders for the exact DRAM circuits of
+Fig. 2 (equalization pair, charge-sharing bitline with coupling, and the
+latch-based voltage sense amplifier).
+
+Typical use::
+
+    from repro.circuit import build_equalization_circuit, TransientSolver
+
+    circuit = build_equalization_circuit(tech, geometry)
+    result = TransientSolver(circuit).run(t_stop=2e-9, dt=2e-12)
+    v_bitline = result["bl"]
+"""
+
+from .netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Element,
+    GND,
+    NMOS,
+    PMOS,
+    Resistor,
+    VoltageSource,
+)
+from .waveforms import Waveform, constant, piecewise_linear, pulse, step
+from .solver import TransientResult, TransientSolver
+from .measure import crossing_time, delivered_energy, settle_time, value_at
+from .dram_circuits import (
+    build_charge_sharing_circuit,
+    build_equalization_circuit,
+    build_refresh_circuit,
+    build_sense_amplifier_circuit,
+    simulate_equalization,
+    simulate_presensing,
+    simulate_refresh_trajectory,
+)
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "Element",
+    "GND",
+    "NMOS",
+    "PMOS",
+    "Resistor",
+    "VoltageSource",
+    "Waveform",
+    "constant",
+    "piecewise_linear",
+    "pulse",
+    "step",
+    "TransientResult",
+    "TransientSolver",
+    "crossing_time",
+    "delivered_energy",
+    "settle_time",
+    "value_at",
+    "build_charge_sharing_circuit",
+    "build_equalization_circuit",
+    "build_refresh_circuit",
+    "build_sense_amplifier_circuit",
+    "simulate_equalization",
+    "simulate_presensing",
+    "simulate_refresh_trajectory",
+]

@@ -1,0 +1,111 @@
+"""Waveform measurement utilities (the SPICE ``.MEASURE`` equivalents).
+
+These operate on a :class:`~repro.circuit.solver.TransientResult` and are
+used by the experiment drivers to extract delays (threshold crossings,
+settling times) from simulated traces, mirroring what the paper measures
+from its SPICE runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .netlist import VoltageSource
+from .solver import TransientResult
+
+
+def value_at(result: TransientResult, node: str, t: float) -> float:
+    """Voltage of ``node`` at time ``t`` (linear interpolation)."""
+    return result.at(node, t)
+
+
+def crossing_time(
+    result: TransientResult,
+    node: str,
+    threshold: float,
+    rising: bool = True,
+    after: float = 0.0,
+) -> Optional[float]:
+    """First time ``node`` crosses ``threshold`` in the given direction.
+
+    Args:
+        result: the transient run to inspect.
+        node: node name.
+        threshold: voltage level to detect.
+        rising: ``True`` for a low-to-high crossing, ``False`` for
+            high-to-low.
+        after: ignore crossings before this time (e.g. to skip the
+            initial condition transient).
+
+    Returns:
+        The interpolated crossing time in seconds, or ``None`` if the
+        waveform never crosses.
+    """
+    t = result.time
+    v = result[node]
+    mask = t >= after
+    t = t[mask]
+    v = v[mask]
+    if len(t) < 2:
+        return None
+    if rising:
+        hits = np.nonzero((v[:-1] < threshold) & (v[1:] >= threshold))[0]
+    else:
+        hits = np.nonzero((v[:-1] > threshold) & (v[1:] <= threshold))[0]
+    if len(hits) == 0:
+        return None
+    i = hits[0]
+    v0, v1 = v[i], v[i + 1]
+    if v1 == v0:
+        return float(t[i + 1])
+    frac = (threshold - v0) / (v1 - v0)
+    return float(t[i] + frac * (t[i + 1] - t[i]))
+
+
+def settle_time(
+    result: TransientResult,
+    node: str,
+    target: float,
+    tolerance: float,
+    after: float = 0.0,
+) -> Optional[float]:
+    """Time after which ``node`` stays within ``tolerance`` of ``target``.
+
+    Scans backwards for the last sample outside the band; the settle
+    time is the next sample's timestamp.  Returns ``None`` if the node
+    never settles by the end of the run.
+    """
+    t = result.time
+    v = result[node]
+    mask = t >= after
+    t = t[mask]
+    v = v[mask]
+    if len(t) == 0:
+        return None
+    outside = np.abs(v - target) > tolerance
+    if outside[-1]:
+        return None
+    if not outside.any():
+        return float(t[0])
+    last_outside = int(np.nonzero(outside)[0][-1])
+    if last_outside + 1 >= len(t):
+        return None
+    return float(t[last_outside + 1])
+
+
+def delivered_energy(result: TransientResult, source: VoltageSource) -> float:
+    """Energy a voltage source delivered to the circuit over the run (joules).
+
+    Trapezoidal integral of ``V(t) * I(t)`` using the source's waveform
+    and its recorded branch current (``record_currents=[source.name]``
+    must have been passed to the solver).  Positive means the source
+    supplied energy — e.g. the ``V_dd`` rail during sense amplification,
+    which is the circuit-level ground truth the
+    :class:`~repro.power.drampower.RefreshPowerModel` is validated
+    against.
+    """
+    current = result.current(source.name)
+    voltage = np.array([source.waveform(float(t)) for t in result.time])
+    return float(np.trapezoid(voltage * current, result.time))

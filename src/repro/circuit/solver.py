@@ -1,0 +1,234 @@
+"""Transient solver: backward-Euler integration with Newton-Raphson.
+
+At every time point the solver assembles the MNA system from element
+stamps and iterates Newton until the node voltages converge.  Backward
+Euler is unconditionally stable, which matters here because DRAM sense
+amplification is a stiff positive-feedback process.
+
+Dense linear algebra is used below :data:`SPARSE_THRESHOLD` unknowns;
+larger systems (many coupled bitlines) switch to ``scipy.sparse``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .netlist import Circuit
+
+#: Switch to sparse factorization above this many unknowns.
+SPARSE_THRESHOLD = 200
+
+#: Maximum levels of automatic time-step halving on Newton failure.
+MAX_SUBDIVISIONS = 8
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton iteration fails to converge at a time point."""
+
+
+@dataclass
+class TransientResult:
+    """Waveforms produced by a transient run.
+
+    Index with a node name to get its voltage trace as a numpy array::
+
+        result = TransientSolver(circuit).run(t_stop=1e-9, dt=1e-12)
+        v = result["bl"]          # np.ndarray, same length as result.time
+        v0 = result.at("bl", 0.5e-9)  # linear interpolation
+    """
+
+    time: np.ndarray
+    voltages: Dict[str, np.ndarray]
+    newton_iterations: int = 0
+    currents: Dict[str, np.ndarray] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.currents is None:
+            self.currents = {}
+
+    def __getitem__(self, node: str) -> np.ndarray:
+        return self.voltages[node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.voltages
+
+    def at(self, node: str, t: float) -> float:
+        """Linearly-interpolated voltage of ``node`` at time ``t``."""
+        return float(np.interp(t, self.time, self.voltages[node]))
+
+    @property
+    def nodes(self) -> List[str]:
+        """Node names with recorded waveforms."""
+        return list(self.voltages)
+
+    def current(self, source_name: str) -> np.ndarray:
+        """Branch current through a recorded voltage source (amperes).
+
+        Positive current flows from the source's ``a`` terminal through
+        the external circuit into ``b`` (SPICE convention: the MNA
+        branch unknown, negated).
+        """
+        if source_name not in self.currents:
+            raise KeyError(
+                f"no recorded current for {source_name!r}; pass record_currents "
+                f"to TransientSolver.run"
+            )
+        return self.currents[source_name]
+
+
+
+class TransientSolver:
+    """Fixed-step backward-Euler transient analysis of a :class:`Circuit`.
+
+    Args:
+        circuit: the netlist to simulate.
+        abstol: Newton convergence tolerance on node voltages (volts).
+        max_newton: maximum Newton iterations per time point before the
+            step is retried with damping and finally aborted.
+    """
+
+    def __init__(self, circuit: Circuit, abstol: float = 1e-6, max_newton: int = 60):
+        self.circuit = circuit
+        self.abstol = abstol
+        self.max_newton = max_newton
+
+    def run(
+        self,
+        t_stop: float,
+        dt: float,
+        record: Optional[List[str]] = None,
+        record_currents: Optional[List[str]] = None,
+    ) -> TransientResult:
+        """Simulate from 0 to ``t_stop`` with fixed step ``dt``.
+
+        Args:
+            t_stop: end time in seconds.
+            dt: time step in seconds.
+            record: node names to record; defaults to every node.
+            record_currents: voltage-source names whose branch currents
+                to record (for power/energy measurement).
+
+        Returns:
+            A :class:`TransientResult` with one sample per accepted step,
+            including the initial condition at ``t = 0``.
+        """
+        if t_stop <= 0 or dt <= 0:
+            raise ValueError(f"t_stop and dt must be positive, got {t_stop}, {dt}")
+        size = self.circuit.assemble()
+        n_nodes = self.circuit.num_nodes
+        x = self.circuit.initial_state(size)
+
+        record_nodes = record if record is not None else self.circuit.node_names
+        indices = {node: self.circuit.node_id(node) for node in record_nodes}
+        for node, idx in indices.items():
+            if idx < 0:
+                raise KeyError(f"cannot record ground node: {node}")
+
+        current_indices: Dict[str, int] = {}
+        if record_currents:
+            from .netlist import VoltageSource
+
+            sources = {
+                e.name: e for e in self.circuit.elements if isinstance(e, VoltageSource)
+            }
+            for name in record_currents:
+                if name not in sources:
+                    raise KeyError(f"no voltage source named {name!r}")
+                current_indices[name] = sources[name]._branch_index
+
+        n_steps = int(round(t_stop / dt))
+        times = np.empty(n_steps + 1)
+        traces = {node: np.empty(n_steps + 1) for node in record_nodes}
+        current_traces = {name: np.empty(n_steps + 1) for name in current_indices}
+        times[0] = 0.0
+        for node, idx in indices.items():
+            traces[node][0] = x[idx]
+        for name, idx in current_indices.items():
+            current_traces[name][0] = -x[idx]
+
+        sparse = size > SPARSE_THRESHOLD
+
+        self._size = size
+        self._n_nodes = n_nodes
+        self._sparse = sparse
+        self._total_newton = 0
+
+        for step_index in range(1, n_steps + 1):
+            t = step_index * dt
+            x = self._advance(x, t - dt, dt, depth=0)
+            times[step_index] = t
+            for node, idx in indices.items():
+                traces[node][step_index] = x[idx]
+            for name, idx in current_indices.items():
+                current_traces[name][step_index] = -x[idx]
+        total_newton = self._total_newton
+
+        return TransientResult(
+            time=times,
+            voltages=traces,
+            newton_iterations=total_newton,
+            currents=current_traces,
+        )
+
+    def _advance(self, x: np.ndarray, t_start: float, dt: float, depth: int) -> np.ndarray:
+        """Advance the state by ``dt`` from ``t_start``; subdivide on failure.
+
+        A stiff event (sense-amp regeneration firing mid-step) can defeat
+        the damped Newton iteration at the requested step; halving the
+        step across the event recovers convergence.  Up to
+        :data:`MAX_SUBDIVISIONS` levels of halving are attempted before
+        giving up.
+        """
+        x_next = self._newton_step(x, t_start + dt, dt)
+        if x_next is not None:
+            return x_next
+        if depth >= MAX_SUBDIVISIONS:
+            raise ConvergenceError(
+                f"Newton failed at t={t_start + dt:.3e}s in {self.circuit.name} "
+                f"even after {MAX_SUBDIVISIONS} step subdivisions"
+            )
+        half = dt / 2.0
+        x_mid = self._advance(x, t_start, half, depth + 1)
+        return self._advance(x_mid, t_start + half, half, depth + 1)
+
+    def _newton_step(self, x: np.ndarray, t: float, dt: float) -> Optional[np.ndarray]:
+        """One backward-Euler step via damped Newton; ``None`` if it diverges."""
+        size, n_nodes = self._size, self._n_nodes
+        if self._sparse:
+            import scipy.sparse as sp
+            import scipy.sparse.linalg as spla
+        v_prev = x.copy()
+        x_new = x.copy()
+        for _ in range(self.max_newton):
+            G = np.zeros((size, size))
+            I = np.zeros(size)
+            for element in self.circuit.elements:
+                element.stamp(G, I, x_new, v_prev, t, dt)
+            # Regularize rows untouched by any stamp (isolated nodes).
+            for k in range(n_nodes):
+                if G[k, k] == 0.0:
+                    G[k, k] = 1e-12
+            try:
+                if self._sparse:
+                    x_next = spla.spsolve(sp.csc_matrix(G), I)
+                else:
+                    x_next = np.linalg.solve(G, I)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular MNA matrix at t={t:.3e}s in {self.circuit.name}"
+                ) from exc
+            delta = np.max(np.abs(x_next[:n_nodes] - x_new[:n_nodes])) if n_nodes else 0.0
+            # Damp large Newton steps to keep square-law devices in a
+            # sane region; undamped steps can overshoot by rails.
+            max_step = 0.5
+            if delta > max_step:
+                x_new = x_new + (x_next - x_new) * (max_step / delta)
+            else:
+                x_new = x_next
+            self._total_newton += 1
+            if delta < self.abstol:
+                return x_new
+        return None

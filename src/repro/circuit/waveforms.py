@@ -1,0 +1,90 @@
+"""Time-domain source waveforms for the transient simulator.
+
+A waveform is any callable ``f(t) -> volts``.  These factories cover
+everything the DRAM netlists need: constants, steps with finite rise
+time, pulses, and general piecewise-linear sources (the SPICE ``PWL``
+primitive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+#: Type alias for a time-domain waveform.
+Waveform = Callable[[float], float]
+
+
+def constant(value: float) -> Waveform:
+    """A DC source fixed at ``value`` volts."""
+
+    def _wave(t: float) -> float:
+        return value
+
+    return _wave
+
+
+def step(v_initial: float, v_final: float, t_step: float, t_rise: float = 10e-12) -> Waveform:
+    """A step from ``v_initial`` to ``v_final`` at ``t_step``.
+
+    A finite linear ramp of ``t_rise`` seconds keeps the Newton solver
+    well-conditioned (an ideal step would inject an impulse into every
+    coupled capacitor).
+    """
+    if t_rise <= 0:
+        raise ValueError(f"rise time must be positive, got {t_rise}")
+
+    def _wave(t: float) -> float:
+        if t <= t_step:
+            return v_initial
+        if t >= t_step + t_rise:
+            return v_final
+        frac = (t - t_step) / t_rise
+        return v_initial + frac * (v_final - v_initial)
+
+    return _wave
+
+
+def pulse(
+    v_low: float,
+    v_high: float,
+    t_start: float,
+    width: float,
+    t_rise: float = 10e-12,
+    t_fall: float = 10e-12,
+) -> Waveform:
+    """A single pulse from ``v_low`` to ``v_high`` starting at ``t_start``."""
+    if width <= 0:
+        raise ValueError(f"pulse width must be positive, got {width}")
+    rising = step(v_low, v_high, t_start, t_rise)
+    falling = step(0.0, v_low - v_high, t_start + width, t_fall)
+
+    def _wave(t: float) -> float:
+        return rising(t) + falling(t)
+
+    return _wave
+
+
+def piecewise_linear(points: Sequence[tuple[float, float]]) -> Waveform:
+    """A PWL source through the given ``(time, value)`` points.
+
+    Times must be strictly increasing.  The waveform holds the first
+    value before the first point and the last value after the last.
+    """
+    if not points:
+        raise ValueError("piecewise_linear requires at least one point")
+    times = [p[0] for p in points]
+    if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+        raise ValueError(f"PWL times must be strictly increasing, got {times}")
+
+    def _wave(t: float) -> float:
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for (t1, v1), (t2, v2) in zip(points, points[1:]):
+            if t1 <= t <= t2:
+                frac = (t - t1) / (t2 - t1)
+                return v1 + frac * (v2 - v1)
+        raise AssertionError("unreachable: t within PWL range but no segment found")
+
+    return _wave

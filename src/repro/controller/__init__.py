@@ -1,0 +1,38 @@
+"""Memory-controller refresh machinery (Sec. 3.2, Algorithm 1).
+
+VRL-DRAM "can be implemented entirely inside the memory controller":
+per-row ``mprsf`` and ``rcount`` values in ``nbits``-wide counters and a
+scheduling rule — full refresh when ``rcount == mprsf``, else partial.
+This package provides:
+
+* :mod:`~repro.controller.counters` — saturating counter files;
+* :mod:`~repro.controller.refresh` — the refresh scheduling policies:
+  conventional fixed-interval, RAIDR, VRL, and VRL-Access.
+"""
+
+from .counters import CounterFile, SaturatingCounter
+from .refresh import (
+    FGRPolicy,
+    FixedRefreshPolicy,
+    RAIDRPolicy,
+    RefreshCommand,
+    RefreshKind,
+    RefreshPolicy,
+    VRLAccessPolicy,
+    VRLPolicy,
+    build_policy,
+)
+
+__all__ = [
+    "CounterFile",
+    "SaturatingCounter",
+    "FGRPolicy",
+    "FixedRefreshPolicy",
+    "RAIDRPolicy",
+    "RefreshCommand",
+    "RefreshKind",
+    "RefreshPolicy",
+    "VRLAccessPolicy",
+    "VRLPolicy",
+    "build_policy",
+]

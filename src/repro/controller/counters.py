@@ -1,0 +1,118 @@
+"""Saturating counters modeling the VRL-DRAM hardware state (Sec. 3.2).
+
+The paper stores ``mprsf`` and ``rcount`` as ``nbits``-wide counters per
+row ("in the actual hardware implementation, those two variables can be
+defined as nbits-wide counters") and evaluates ``nbits = 2``.  A
+software model must honor the width: MPRSF values above ``2^nbits - 1``
+saturate, and ``rcount`` arithmetic wraps through the controller's
+reset, never past the width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SaturatingCounter:
+    """A single ``nbits``-wide saturating up-counter.
+
+    Used directly in examples and unit tests; the simulator uses the
+    vectorized :class:`CounterFile`.
+    """
+
+    def __init__(self, nbits: int, value: int = 0):
+        if nbits < 1:
+            raise ValueError(f"nbits must be >= 1, got {nbits}")
+        self.nbits = nbits
+        self._value = 0
+        self.set(value)
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value, ``2^nbits - 1``."""
+        return (1 << self.nbits) - 1
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    def set(self, value: int) -> None:
+        """Load a value, saturating at the counter width."""
+        if value < 0:
+            raise ValueError(f"counter value cannot be negative, got {value}")
+        self._value = min(value, self.max_value)
+
+    def increment(self) -> int:
+        """Increment by one, saturating at ``max_value``; returns the new value."""
+        self._value = min(self._value + 1, self.max_value)
+        return self._value
+
+    def reset(self) -> None:
+        """Clear to zero."""
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SaturatingCounter(nbits={self.nbits}, value={self._value})"
+
+
+class CounterFile:
+    """A vector of per-row ``nbits``-wide saturating counters.
+
+    Backed by a numpy array so the simulator can reset/increment rows in
+    bulk.  This models the counter storage whose area Table 2 accounts
+    for.
+    """
+
+    def __init__(self, n_rows: int, nbits: int, initial: np.ndarray | int = 0):
+        if n_rows <= 0:
+            raise ValueError(f"need at least one row, got {n_rows}")
+        if nbits < 1:
+            raise ValueError(f"nbits must be >= 1, got {nbits}")
+        self.nbits = nbits
+        self.n_rows = n_rows
+        self._values = np.zeros(n_rows, dtype=np.int64)
+        if isinstance(initial, np.ndarray):
+            self.load(initial)
+        elif initial:
+            self.load(np.full(n_rows, initial, dtype=np.int64))
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value, ``2^nbits - 1``."""
+        return (1 << self.nbits) - 1
+
+    @property
+    def values(self) -> np.ndarray:
+        """A read-only view of the counter values."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def load(self, values: np.ndarray) -> None:
+        """Bulk-load values, saturating each at the counter width."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != (self.n_rows,):
+            raise ValueError(
+                f"expected shape ({self.n_rows},), got {values.shape}"
+            )
+        if (values < 0).any():
+            raise ValueError("counter values cannot be negative")
+        self._values = np.minimum(values, self.max_value)
+
+    def get(self, row: int) -> int:
+        """Value of one row's counter."""
+        return int(self._values[row])
+
+    def increment(self, row: int) -> int:
+        """Saturating increment of one row's counter; returns the new value."""
+        self._values[row] = min(self._values[row] + 1, self.max_value)
+        return int(self._values[row])
+
+    def reset(self, row: int) -> None:
+        """Clear one row's counter."""
+        self._values[row] = 0
+
+    def reset_all(self) -> None:
+        """Clear every counter (e.g. at simulation start)."""
+        self._values[:] = 0

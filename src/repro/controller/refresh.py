@@ -1,0 +1,279 @@
+"""Refresh scheduling policies: conventional, RAIDR, VRL, VRL-Access.
+
+The policy interface is what the bank simulator drives:
+
+* :meth:`RefreshPolicy.refresh_row` — the controller refreshes a row
+  *now*; the policy decides full vs partial and returns the resulting
+  :class:`RefreshCommand` (Algorithm 1 of the paper for the VRL
+  variants), updating its internal counters;
+* :meth:`RefreshPolicy.on_access` — a read/write activated the row;
+  VRL-Access exploits that the activation fully restored the row's
+  charge and resets its ``rcount``;
+* :meth:`RefreshPolicy.row_period` — the row's refresh period (64 ms
+  for the conventional baseline, the RAIDR bin period otherwise).
+
+Policies are deliberately free of timing bookkeeping — they answer
+"what refresh does this row get", the simulator owns "when".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+import numpy as np
+
+from ..model.trfc import RefreshLatencyModel
+from ..mprsf.calculator import MPRSFCalculator
+from ..retention.binning import BinningResult
+from ..retention.profiler import RetentionProfile
+from ..technology import TechnologyParams
+from ..units import MS
+from .counters import CounterFile
+
+#: The JEDEC worst-case refresh period used by the conventional baseline.
+CONVENTIONAL_PERIOD = 64 * MS
+
+
+class RefreshKind(Enum):
+    """Whether a refresh operation is charge-complete or truncated."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class RefreshCommand:
+    """One refresh issued to a row: its kind and latency in cycles."""
+
+    row: int
+    kind: RefreshKind
+    latency_cycles: int
+
+
+class RefreshPolicy:
+    """Base class: every refresh is full, every row at one fixed period."""
+
+    name = "base"
+
+    def __init__(self, n_rows: int, tau_full: int, period: float = CONVENTIONAL_PERIOD):
+        if n_rows <= 0:
+            raise ValueError(f"need at least one row, got {n_rows}")
+        if tau_full <= 0:
+            raise ValueError(f"tau_full must be positive, got {tau_full}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.n_rows = n_rows
+        self.tau_full = tau_full
+        self._period = period
+
+    def row_period(self, row: int) -> float:
+        """Refresh period of ``row`` in seconds."""
+        self._check_row(row)
+        return self._period
+
+    def row_periods(self) -> np.ndarray:
+        """Vector of per-row refresh periods (seconds)."""
+        return np.full(self.n_rows, self._period)
+
+    def refresh_row(self, row: int) -> RefreshCommand:
+        """Refresh ``row`` now; returns the issued command."""
+        self._check_row(row)
+        return RefreshCommand(row, RefreshKind.FULL, self.tau_full)
+
+    def on_access(self, row: int) -> None:
+        """Notify the policy that ``row`` was activated by a read/write."""
+        self._check_row(row)
+
+    def reset(self) -> None:
+        """Clear mutable state (counters) for a fresh simulation."""
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+
+
+class FixedRefreshPolicy(RefreshPolicy):
+    """Conventional JEDEC refresh: every row fully refreshed every 64 ms."""
+
+    name = "fixed-64ms"
+
+
+class FGRPolicy(RefreshPolicy):
+    """JEDEC DDR4 Fine-Granularity Refresh (1x/2x/4x modes).
+
+    The industry's own latency-oriented refresh option (Bhati et al.
+    [1]): in 2x/4x mode the controller refreshes ``mode`` times as
+    often, each operation covering proportionally fewer rows — so the
+    per-operation ``tRFC`` shrinks, but *sub-linearly* (JEDEC DDR4 4Gb:
+    tRFC1/2/4 = 260/160/110 ns, i.e. ~0.62x per doubling instead of
+    0.5x).  FGR trades shorter blocking windows for *more total* refresh
+    time — the opposite direction from VRL, which keeps the schedule and
+    shortens the operations; comparing them isolates what circuit-aware
+    truncation buys over simple command slicing.
+
+    In this per-row simulator, FGR-Nx refreshes every row N times as
+    often with a per-operation latency of ``tau_full * shrink^log2(N)``.
+
+    Args:
+        n_rows: rows in the bank.
+        tau_full: 1x full-refresh latency in cycles.
+        mode: 1, 2, or 4 (JEDEC FGR modes).
+        shrink: per-doubling tRFC multiplier (JEDEC-typical ~0.62).
+    """
+
+    name = "fgr"
+
+    #: JEDEC-typical tRFC shrink per granularity doubling.
+    DEFAULT_SHRINK = 0.62
+
+    def __init__(
+        self,
+        n_rows: int,
+        tau_full: int,
+        mode: int = 2,
+        shrink: float = DEFAULT_SHRINK,
+        period: float = CONVENTIONAL_PERIOD,
+    ):
+        if mode not in (1, 2, 4):
+            raise ValueError(f"FGR mode must be 1, 2 or 4, got {mode}")
+        if not 0.5 <= shrink <= 1.0:
+            raise ValueError(
+                f"shrink must be in [0.5, 1.0] (0.5 = ideal linear), got {shrink}"
+            )
+        super().__init__(n_rows, tau_full, period / mode)
+        self.mode = mode
+        doublings = {1: 0, 2: 1, 4: 2}[mode]
+        import math
+
+        self.tau_op = max(1, math.ceil(tau_full * shrink**doublings))
+        self.name = f"fgr-{mode}x"
+
+    def refresh_row(self, row: int) -> RefreshCommand:
+        """Every operation is a (shorter) full refresh at ``period/mode``."""
+        self._check_row(row)
+        return RefreshCommand(row, RefreshKind.FULL, self.tau_op)
+
+
+class RAIDRPolicy(RefreshPolicy):
+    """RAIDR [27]: retention-binned refresh periods, full refreshes only.
+
+    Args:
+        binning: the bank's RAIDR bin assignment.
+        tau_full: full-refresh latency in cycles.
+    """
+
+    name = "raidr"
+
+    def __init__(self, binning: BinningResult, tau_full: int):
+        super().__init__(len(binning.row_period), tau_full)
+        self.binning = binning
+
+    def row_period(self, row: int) -> float:
+        self._check_row(row)
+        return float(self.binning.row_period[row])
+
+    def row_periods(self) -> np.ndarray:
+        return self.binning.row_period.copy()
+
+
+class VRLPolicy(RAIDRPolicy):
+    """VRL-DRAM (Algorithm 1): partial refreshes whenever MPRSF allows.
+
+    On each refresh of row ``r``: if ``rcount[r] == mprsf[r]`` issue a
+    full refresh and reset ``rcount[r]``; otherwise issue a partial
+    refresh and increment ``rcount[r]``.
+
+    Args:
+        binning: RAIDR bin assignment (VRL runs on top of RAIDR).
+        mprsf: per-row MPRSF values (will be saturated to the counter
+            width).
+        tau_full: full-refresh latency in cycles.
+        tau_partial: partial-refresh latency in cycles.
+        nbits: counter width (the paper evaluates 2).
+    """
+
+    name = "vrl"
+
+    def __init__(
+        self,
+        binning: BinningResult,
+        mprsf: np.ndarray,
+        tau_full: int,
+        tau_partial: int,
+        nbits: int = 2,
+    ):
+        super().__init__(binning, tau_full)
+        if tau_partial <= 0 or tau_partial > tau_full:
+            raise ValueError(
+                f"tau_partial must be in (0, tau_full={tau_full}], got {tau_partial}"
+            )
+        self.tau_partial = tau_partial
+        self.nbits = nbits
+        self.mprsf = CounterFile(self.n_rows, nbits, initial=np.asarray(mprsf))
+        self.rcount = CounterFile(self.n_rows, nbits)
+
+    def refresh_row(self, row: int) -> RefreshCommand:
+        """Algorithm 1, lines 2-8."""
+        self._check_row(row)
+        if self.rcount.get(row) == self.mprsf.get(row):
+            self.rcount.reset(row)
+            return RefreshCommand(row, RefreshKind.FULL, self.tau_full)
+        self.rcount.increment(row)
+        return RefreshCommand(row, RefreshKind.PARTIAL, self.tau_partial)
+
+    def reset(self) -> None:
+        self.rcount.reset_all()
+
+
+class VRLAccessPolicy(VRLPolicy):
+    """VRL-Access: row activations reset the partial-refresh budget.
+
+    "A DRAM activation caused by a read or write access fully restores
+    the charge in the DRAM row … on a read or write access to a row,
+    the memory controller resets the value of rcount to 0."
+    """
+
+    name = "vrl-access"
+
+    def on_access(self, row: int) -> None:
+        self._check_row(row)
+        self.rcount.reset(row)
+
+
+def build_policy(
+    name: str,
+    tech: TechnologyParams,
+    profile: RetentionProfile,
+    binning: BinningResult,
+    nbits: int = 2,
+) -> RefreshPolicy:
+    """Factory wiring a policy from the model and a retention profile.
+
+    Args:
+        name: one of ``"fixed"``, ``"raidr"``, ``"vrl"``, ``"vrl-access"``.
+        tech: technology parameters (latencies come from the analytical
+            model).
+        profile: the bank's retention profile.
+        binning: RAIDR bin assignment for the same profile.
+        nbits: counter width for the VRL variants.
+    """
+    model = RefreshLatencyModel(tech, profile.geometry)
+    tau_full = model.full_refresh().total_cycles
+    if name == "fixed":
+        return FixedRefreshPolicy(profile.geometry.rows, tau_full)
+    if name == "raidr":
+        return RAIDRPolicy(binning, tau_full)
+    if name in ("vrl", "vrl-access"):
+        partial = model.partial_refresh()
+        calculator = MPRSFCalculator(tech, profile.geometry, model)
+        mprsf = calculator.mprsf_for_rows(
+            profile.row_retention,
+            binning.row_period,
+            partial_timing=partial,
+            max_count=(1 << nbits) - 1,
+        )
+        cls = VRLPolicy if name == "vrl" else VRLAccessPolicy
+        return cls(binning, mprsf, tau_full, partial.total_cycles, nbits)
+    raise ValueError(
+        f"unknown policy {name!r}; expected fixed, raidr, vrl, or vrl-access"
+    )

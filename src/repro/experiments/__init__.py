@@ -1,0 +1,70 @@
+"""Experiment drivers regenerating every figure and table of the paper.
+
+Each module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.result.ExperimentResult` that prints the same
+rows/series the paper reports:
+
+========  ===============================================  =========================
+ID        Paper artifact                                   Driver
+========  ===============================================  =========================
+FIG1A     Fig. 1a charge-restoration curve                 :func:`run_fig1a`
+FIG1B     Fig. 1b full-vs-partial refresh trajectories     :func:`run_fig1b`
+FIG3A/B   Fig. 3 retention distribution + binning          :func:`run_fig3`
+SEC31     tau_partial/tau_full cycle breakdown + sweep     :func:`run_latency_breakdown`
+FIG4      Fig. 4 refresh overhead per benchmark (+power)   :func:`run_fig4`
+FIG5      Fig. 5 equalization voltage responses            :func:`run_fig5`
+TAB1      Table 1 pre-sensing accuracy/runtime trade-off   :func:`run_table1`
+TAB2      Table 2 area overhead                            :func:`run_table2`
+========  ===============================================  =========================
+
+Ablation studies beyond the paper live in
+:mod:`~repro.experiments.ablations` (counter width, guard band,
+geometry scaling, parameter sensitivity).
+
+``vrl-dram <experiment>`` on the command line dispatches to these (see
+:mod:`~repro.experiments.cli`).
+"""
+
+from .ablations import (
+    run_geometry_ablation,
+    run_guard_ablation,
+    run_nbits_ablation,
+    run_sensitivity,
+)
+from .baselines_study import run_baseline_comparison
+from .bins_study import run_bins_ablation
+from .fig1a import run_fig1a
+from .fig1b import run_fig1b
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .latencies import run_latency_breakdown
+from .performance_study import run_performance_study
+from .rank_study import run_rank_comparison
+from .result import ExperimentResult
+from .table1 import run_table1
+from .temperature_study import run_temperature_study
+from .validation import run_validation
+from .table2 import run_table2
+
+__all__ = [
+    "ExperimentResult",
+    "run_fig1a",
+    "run_fig1b",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_latency_breakdown",
+    "run_table1",
+    "run_table2",
+    "run_geometry_ablation",
+    "run_guard_ablation",
+    "run_nbits_ablation",
+    "run_sensitivity",
+    "run_rank_comparison",
+    "run_validation",
+    "run_temperature_study",
+    "run_bins_ablation",
+    "run_performance_study",
+    "run_baseline_comparison",
+]

@@ -1,0 +1,129 @@
+"""Command-line entry point: ``vrl-dram <experiment> [options]``.
+
+Examples::
+
+    vrl-dram fig4 --duration 1.0
+    vrl-dram table1 --no-spice
+    vrl-dram all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    run_baseline_comparison,
+    run_bins_ablation,
+    run_fig1a,
+    run_geometry_ablation,
+    run_guard_ablation,
+    run_nbits_ablation,
+    run_performance_study,
+    run_sensitivity,
+    run_fig1b,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_latency_breakdown,
+    run_rank_comparison,
+    run_table1,
+    run_temperature_study,
+    run_validation,
+    run_table2,
+)
+from .result import ExperimentResult
+
+
+def _experiments() -> dict[str, Callable[[argparse.Namespace], ExperimentResult]]:
+    """Dispatch table from experiment name to a driver closure."""
+    return {
+        "fig1a": lambda a: run_fig1a(with_spice=a.spice),
+        "fig1b": lambda a: run_fig1b(),
+        "fig3": lambda a: run_fig3(seed=a.seed),
+        "sec31": lambda a: run_latency_breakdown(seed=a.seed),
+        "fig4": lambda a: run_fig4(
+            duration_seconds=a.duration,
+            benchmarks=a.benchmarks or None,
+            nbits=a.nbits,
+            seed=a.seed,
+        ),
+        "fig5": lambda a: run_fig5(),
+        "table1": lambda a: run_table1(with_spice=a.spice),
+        "table2": lambda a: run_table2(),
+        "ablation-nbits": lambda a: run_nbits_ablation(seed=a.seed),
+        "ablation-guard": lambda a: run_guard_ablation(seed=a.seed),
+        "ablation-geometry": lambda a: run_geometry_ablation(),
+        "ablation-bins": lambda a: run_bins_ablation(seed=a.seed),
+        "sensitivity": lambda a: run_sensitivity(),
+        "rank": lambda a: run_rank_comparison(seed=a.seed),
+        "validate": lambda a: run_validation(),
+        "baselines": lambda a: run_baseline_comparison(
+            duration_seconds=a.duration, seed=a.seed
+        ),
+        "temperature": lambda a: run_temperature_study(seed=a.seed),
+        "performance": lambda a: run_performance_study(
+            duration_seconds=min(a.duration, 0.5),
+            benchmarks=a.benchmarks or None,
+            seed=a.seed,
+        ),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="vrl-dram",
+        description="Reproduce the figures and tables of VRL-DRAM (DAC 2018).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_experiments()) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument("--duration", type=float, default=1.0, help="fig4: seconds of simulated time")
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None, help="fig4: subset of benchmark names"
+    )
+    parser.add_argument("--nbits", type=int, default=2, help="fig4: counter width")
+    parser.add_argument("--seed", type=int, default=2018, help="profiling/trace RNG seed")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each result table as <DIR>/<experiment>.csv",
+    )
+    parser.add_argument(
+        "--no-spice",
+        dest="spice",
+        action="store_false",
+        help="fig1a/table1: skip the SPICE-lite circuit simulations",
+    )
+    parser.set_defaults(spice=True)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one (or all) experiments and print the result tables."""
+    args = build_parser().parse_args(argv)
+    table = _experiments()
+    names = sorted(table) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        result = table[name](args)
+        elapsed = time.perf_counter() - t0
+        print(result.format())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if args.csv:
+            from pathlib import Path
+
+            directory = Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            result.to_csv(directory / f"{name}.csv")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""FIG1B: full vs partial refresh trajectories (Observation 2, Fig. 1b).
+
+An example cell with retention somewhat above the 64 ms refresh period:
+with full refreshes it returns to 100% each period; with partial
+refreshes it survives one partial after a full refresh but loses data
+on back-to-back partials — motivating the need for MPRSF scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mprsf import MPRSFCalculator
+from ..retention.data_patterns import DataPattern
+from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
+from ..units import MS
+from .result import ExperimentResult
+
+#: The example cell's retention time: above the refresh period but not
+#: enough to sustain two consecutive partial refreshes (paper Fig. 1b).
+EXAMPLE_RETENTION = 70 * MS
+
+
+def run_fig1b(
+    tech: TechnologyParams = DEFAULT_TECH,
+    geometry: BankGeometry = DEFAULT_GEOMETRY,
+    retention_time: float = EXAMPLE_RETENTION,
+    refresh_period: float = 64 * MS,
+    n_periods: int = 3,
+    n_samples: int = 13,
+) -> ExperimentResult:
+    """Charge vs time for full-only and partial-only refresh schedules.
+
+    Args:
+        tech: technology parameters.
+        geometry: bank geometry.
+        retention_time: the example cell's retention (> period).
+        refresh_period: refresh period (paper: 64 ms).
+        n_periods: periods to simulate (paper plots 0-192 ms = 3).
+        n_samples: reported samples per trajectory.
+    """
+    if retention_time <= refresh_period:
+        raise ValueError(
+            "the Fig. 1b example needs retention above the refresh period, got "
+            f"{retention_time} <= {refresh_period}"
+        )
+    calc = MPRSFCalculator(tech, geometry)
+    full = calc.model.full_refresh()
+    partial = calc.model.partial_refresh()
+
+    t_full, q_full = calc.charge_trajectory(
+        retention_time, refresh_period, full, n_periods, DataPattern.ALL_ONES
+    )
+    t_part, q_part = calc.charge_trajectory(
+        retention_time, refresh_period, partial, n_periods, DataPattern.ALL_ONES
+    )
+
+    sample_times = np.linspace(0.0, n_periods * refresh_period, n_samples)
+    rows = []
+    for t in sample_times:
+        rows.append(
+            (
+                1e3 * t,
+                100 * float(np.interp(t, t_full, q_full)),
+                100 * float(np.interp(t, t_part, q_part)),
+            )
+        )
+
+    fail_pct = 100 * tech.fail_fraction
+    min_partial = 100 * float(q_part.min())
+    mprsf = calc.mprsf_for_cell(
+        retention_time, refresh_period, partial, DataPattern.ALL_ONES, apply_guard=False
+    )
+    return ExperimentResult(
+        experiment_id="FIG1B",
+        title="Refreshing a DRAM cell with full and partial refresh operations",
+        headers=["time (ms)", "% charge (full refresh)", "% charge (partial refresh)"],
+        rows=rows,
+        notes={
+            "sensing-failure threshold": f"{fail_pct:.1f}% charge",
+            "minimum charge under repeated partials": f"{min_partial:.1f}%",
+            "data loss under back-to-back partials": min_partial < fail_pct,
+            "MPRSF of the example cell": mprsf,
+            "paper": "cell survives full+partial but not two back-to-back partials",
+        },
+    )

@@ -1,0 +1,116 @@
+"""PERF: demand-request performance impact of the refresh policies.
+
+Fig. 4 measures cycles spent refreshing; what a system ultimately cares
+about is how much refresh *slows down memory requests*.  This study runs
+the cycle-level engine (queueing, row-buffer state, refresh blocking)
+per benchmark and policy, reporting mean request latency, the
+refresh-attributed stall cycles, and row-hit rates — the
+RAIDR-paper-style performance view the DAC format squeezed out.
+
+Cycle-level simulation walks every request, so the default duration is
+shorter than Fig. 4's; refresh behaviour reaches steady state within a
+few 256 ms generations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..controller import build_policy
+from ..retention import RefreshBinning, RetentionProfiler
+from ..sim import BankSimulator, DRAMTiming
+from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
+from ..workloads import generate_suite
+from .result import ExperimentResult
+
+#: Policies compared, in presentation order.
+PERF_POLICIES = ("fixed", "raidr", "vrl", "vrl-access")
+
+#: Default benchmark subset (one per behaviour class) for the
+#: cycle-level run; pass ``benchmarks`` to widen.
+DEFAULT_BENCHMARKS = ("swaptions", "freqmine", "canneal", "bgsave")
+
+
+def run_performance_study(
+    tech: TechnologyParams = DEFAULT_TECH,
+    geometry: BankGeometry = DEFAULT_GEOMETRY,
+    duration_seconds: float = 0.3,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = RetentionProfiler.DEFAULT_SEED,
+) -> ExperimentResult:
+    """Cycle-level request-latency comparison across refresh policies.
+
+    Args:
+        tech: technology parameters.
+        geometry: bank geometry.
+        duration_seconds: simulated time per (benchmark, policy) pair.
+        benchmarks: benchmark names; defaults to a four-workload subset.
+        seed: profiling / trace seed.
+    """
+    timing = DRAMTiming.from_technology(tech)
+    duration_cycles = timing.cycles(duration_seconds)
+    profile = RetentionProfiler(seed=seed).profile(geometry)
+    binning = RefreshBinning().assign(profile)
+    names = list(benchmarks) if benchmarks else list(DEFAULT_BENCHMARKS)
+    traces = generate_suite(timing, duration_seconds, geometry, seed=seed, names=names)
+
+    rows = []
+    stall_summary: dict[str, int] = {}
+    for bench, trace in traces.items():
+        base_latency = None
+        for policy_name in PERF_POLICIES:
+            policy = build_policy(policy_name, tech, profile, binning)
+            result = BankSimulator(policy, timing, geometry).run(
+                trace=trace, duration_cycles=duration_cycles
+            )
+            latency = result.requests.mean_latency_cycles
+            if base_latency is None:
+                base_latency = latency
+            stall_summary[policy_name] = (
+                stall_summary.get(policy_name, 0)
+                + result.requests.refresh_stall_cycles
+            )
+            rows.append(
+                (
+                    bench,
+                    policy_name,
+                    f"{latency:.2f}",
+                    f"{latency / base_latency:.4f}",
+                    result.requests.refresh_stall_cycles,
+                    f"{100 * result.requests.row_hit_rate:.1f}%",
+                    f"{100 * result.refresh.overhead:.3f}%",
+                )
+            )
+
+    notes = {
+        "baseline": "latency normalized to the conventional fixed-64ms policy per benchmark",
+        "total refresh-stall cycles": ", ".join(
+            f"{name}={stall_summary[name]}" for name in PERF_POLICIES
+        ),
+        "reading": (
+            "refresh overheads are sub-1% at this bank size, so mean-latency "
+            "shifts are small; the stall column isolates the refresh-attributed "
+            "queueing that VRL removes"
+        ),
+        "mean-latency caveat": (
+            "under an open-page policy, frequent refreshes close rows and "
+            "convert expensive row-buffer conflicts into cheaper misses, so "
+            "the fixed policy can show *lower* mean latency on low-locality "
+            "traces despite stalling 4-7x more — compare stalls, not means"
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="PERF",
+        title="Request-latency impact of refresh policies (cycle-level engine)",
+        headers=[
+            "benchmark",
+            "policy",
+            "mean latency (cy)",
+            "vs fixed",
+            "refresh stalls",
+            "row hits",
+            "refresh ovh",
+        ],
+        rows=rows,
+        notes=notes,
+    )

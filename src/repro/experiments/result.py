@@ -1,0 +1,78 @@
+"""Common result container for experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence, Union
+
+
+@dataclass
+class ExperimentResult:
+    """A formatted, machine-readable experiment outcome.
+
+    Attributes:
+        experiment_id: short identifier (``FIG4``, ``TAB1``, ...).
+        title: human-readable headline.
+        headers: column names of the result table.
+        rows: table rows (tuples aligned with ``headers``).
+        notes: free-form key/value findings (averages, paper-reference
+            values, runtimes) surfaced below the table.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[tuple]
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def column(self, name: str) -> list:
+        """Values of one column by header name."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column {name!r}; have {list(self.headers)}") from exc
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        """Render as an aligned text table with the notes appended."""
+        headers = [str(h) for h in self.headers]
+        str_rows = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in str_rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for key, value in self.notes.items():
+            lines.append(f"{key}: {self._fmt(value)}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the result table as CSV (headers + rows, notes as comments).
+
+        Notes are emitted as leading ``#`` comment lines so the data
+        rows stay machine-readable while the context travels with them.
+        """
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            fh.write(f"# {self.experiment_id}: {self.title}\n")
+            for key, value in self.notes.items():
+                fh.write(f"# {key}: {self._fmt(value)}\n")
+            writer = csv.writer(fh)
+            writer.writerow(self.headers)
+            for row in self.rows:
+                writer.writerow([self._fmt(v) for v in row])
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()

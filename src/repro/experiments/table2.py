@@ -1,0 +1,51 @@
+"""TAB2: area overhead of VRL-DRAM at 90nm (Table 2).
+
+Paper reference: nbits = 2/3/4 -> 105/152/200 um^2 of logic, i.e.
+0.97% / 1.4% / 1.85% of an 8192x32 DRAM bank.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..area import AreaModel
+from ..technology import DEFAULT_GEOMETRY, BankGeometry
+from .result import ExperimentResult
+
+#: Paper's Table 2 values: nbits -> (um^2, % of bank).
+PAPER_TABLE2 = {2: (105, 0.97), 3: (152, 1.4), 4: (200, 1.85)}
+
+
+def run_table2(
+    geometry: BankGeometry = DEFAULT_GEOMETRY,
+    widths: Sequence[int] = (2, 3, 4),
+) -> ExperimentResult:
+    """Area estimates for each counter width.
+
+    Args:
+        geometry: the served bank (Table 2 uses 8192x32).
+        widths: counter widths to evaluate.
+    """
+    model = AreaModel(geometry)
+    rows = []
+    for nbits in widths:
+        estimate = model.estimate(nbits)
+        paper = PAPER_TABLE2.get(nbits)
+        rows.append(
+            (
+                nbits,
+                f"{estimate.logic_area_um2:.0f}",
+                f"{100 * estimate.fraction_of_bank:.2f}%",
+                f"(paper: {paper[0]} um2, {paper[1]}%)" if paper else "",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="TAB2",
+        title="Area overhead of VRL-DRAM at 90nm",
+        headers=["nbits", "logic area (um2)", "% of DRAM bank", "reference"],
+        rows=rows,
+        notes={
+            "bank reference area": f"{model.bank_area() / 1e-12:.0f} um2 (5F^2 cells)",
+            "paper": "area overhead within 1-2% of a DRAM bank",
+        },
+    )

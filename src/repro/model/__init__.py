@@ -1,0 +1,42 @@
+"""Analytical DRAM refresh model (Section 2 of the paper).
+
+This package implements, equation by equation, the paper's circuit-level
+analytical model of a refresh operation:
+
+* :mod:`~repro.model.equalization` — the two-phase equalization delay
+  (Eq. 1–2, Fig. 2a).
+* :mod:`~repro.model.presensing` — charge sharing with sneak paths and
+  the tridiagonal closed-form bitline-coupling solution (Eq. 3–8,
+  Fig. 2b/2c).
+* :mod:`~repro.model.postsensing` — the four-phase latch sense-amplifier
+  model and cell restoration (Eq. 9–12, Fig. 2d).
+* :mod:`~repro.model.trfc` — composition into ``tRFC`` (Eq. 13) and the
+  full/partial refresh latencies of Section 3.1.
+* :mod:`~repro.model.single_cell` — the single-cell capacitor baseline
+  model of Li et al. [26], compared against in Fig. 5 and Table 1.
+* :mod:`~repro.model.leakage` — exponential charge leakage linking a
+  cell's retention time to its voltage trajectory (Observation 2).
+* :mod:`~repro.model.sensitivity` — finite-difference elasticities of
+  the latencies w.r.t. every technology parameter (porting aid for
+  other nodes, per the Sec. 4 extensibility claim).
+"""
+
+from .equalization import EqualizationModel
+from .leakage import LeakageModel
+from .postsensing import PostSensingModel
+from .presensing import PreSensingModel
+from .sensitivity import SensitivityAnalyzer, SensitivityResult
+from .single_cell import SingleCellModel
+from .trfc import RefreshLatencyModel, RefreshTiming
+
+__all__ = [
+    "EqualizationModel",
+    "LeakageModel",
+    "PostSensingModel",
+    "PreSensingModel",
+    "SensitivityAnalyzer",
+    "SensitivityResult",
+    "SingleCellModel",
+    "RefreshLatencyModel",
+    "RefreshTiming",
+]

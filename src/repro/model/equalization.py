@@ -1,0 +1,128 @@
+"""Two-phase equalization-delay model (Sec. 2.1, Eq. 1–2).
+
+Before a row can be activated for refresh, the bitline pair must be
+driven to ``V_eq = V_dd / 2`` through the equalization transistors
+M2/M3 (Fig. 2a).  The paper models this in two phases:
+
+* **Phase 1** — M2/M3 in saturation: the bitline discharges at the
+  constant saturation current until its voltage has moved by ``V_tn``
+  (Eq. 1).
+* **Phase 2** — M2/M3 in the linear region: exponential settling toward
+  ``V_eq`` with time constant ``R_eq C_bl`` where
+  ``R_eq = R_bl + r_on2`` (Eq. 2).
+
+The two-phase structure is the model's accuracy advantage over the
+single-RC model of Li et al. [26] (Fig. 5): near ``t = 0+`` the real
+circuit slews at constant current, which a single exponential cannot
+capture.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..technology import BankGeometry, TechnologyParams
+
+
+class EqualizationModel:
+    """Analytical voltage response of a bitline during equalization.
+
+    Args:
+        tech: technology parameters (``V_dd``, ``V_tn``, EQ device size,
+            bitline parasitics).
+        geometry: bank geometry; sets ``C_bl`` and ``R_bl``.
+    """
+
+    def __init__(self, tech: TechnologyParams, geometry: BankGeometry):
+        self.tech = tech
+        self.geometry = geometry
+        self.cbl = tech.cbl(geometry)
+        self.rbl = tech.rbl(geometry)
+
+    # ------------------------------------------------------------------ #
+    # Eq. 1: Phase 1 (saturation)                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def idsat(self) -> float:
+        """Saturation current of the equalization device M2 (``I_dsat2``)."""
+        tech = self.tech
+        vov = tech.vpp - tech.veq - tech.vtn
+        if vov <= 0:
+            raise ValueError("equalization device never saturates: check Vpp/Veq/Vtn")
+        return 0.5 * tech.beta_n(tech.wl_eq) * vov * vov
+
+    @property
+    def t_phase1(self) -> float:
+        """Phase 1 duration ``t_o`` (Eq. 1): slew the bitline by ``V_tn``."""
+        return self.cbl * self.tech.vtn / self.idsat
+
+    # ------------------------------------------------------------------ #
+    # Eq. 2: Phase 2 (linear)                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ron(self) -> float:
+        """ON resistance ``r_on2`` of M2 in the linear region (Eq. 2)."""
+        return self.tech.ron_nmos(self.tech.wl_eq, self.tech.vpp - self.tech.veq)
+
+    @property
+    def req(self) -> float:
+        """Equalization path resistance ``R_eq = R_bl + r_on2`` (Eq. 2)."""
+        return self.rbl + self.ron
+
+    @property
+    def tau(self) -> float:
+        """Phase 2 time constant ``R_eq C_bl``."""
+        return self.req * self.cbl
+
+    # ------------------------------------------------------------------ #
+    # Voltage response                                                     #
+    # ------------------------------------------------------------------ #
+
+    def voltage(self, t: float, v_initial: float | None = None) -> float:
+        """Bitline voltage at time ``t`` after EQ assertion.
+
+        Args:
+            t: time since EQ asserted (seconds).
+            v_initial: bitline starting voltage; defaults to ``V_dd``
+                (the ``B_i`` side of Fig. 5).  Pass ``V_ss`` for the
+                complementary bitline.
+
+        Phase 1 slews linearly by ``V_tn`` toward ``V_eq``; Phase 2
+        settles exponentially (Eq. 2).
+        """
+        tech = self.tech
+        v0 = tech.vdd if v_initial is None else v_initial
+        veq = tech.veq
+        if t <= 0:
+            return v0
+        direction = -1.0 if v0 > veq else 1.0
+        t_o = self.t_phase1
+        if t <= t_o:
+            return v0 + direction * self.idsat * t / self.cbl
+        v_at_to = v0 + direction * tech.vtn
+        return veq + (v_at_to - veq) * math.exp(-(t - t_o) / self.tau)
+
+    def waveform(self, times: np.ndarray, v_initial: float | None = None) -> np.ndarray:
+        """Vectorized :meth:`voltage` over an array of times."""
+        return np.array([self.voltage(float(t), v_initial) for t in times])
+
+    def delay(self, tolerance: float = 0.01) -> float:
+        """Equalization delay ``tau_eq``: time until within ``tolerance`` volts of ``V_eq``.
+
+        Measured on the worst (``V_dd``-side) bitline.  The default
+        10 mV band is the residual imbalance a sense amplifier of this
+        design tolerates without biasing the next sensing operation.
+        """
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        tech = self.tech
+        swing_after_phase1 = (tech.vdd - tech.veq) - tech.vtn
+        if swing_after_phase1 <= tolerance:
+            # Phase 1 alone gets within tolerance; find the linear crossing.
+            needed = (tech.vdd - tech.veq) - tolerance
+            return needed * self.cbl / self.idsat
+        return self.t_phase1 + self.tau * math.log(swing_after_phase1 / tolerance)

@@ -1,0 +1,182 @@
+"""Post-sensing model: latch sense amplifier + cell restoration (Sec. 2.3, Eq. 9–12).
+
+Once the bitline differential is large enough, the latch-based sense
+amplifier (Fig. 2d) is enabled.  The paper decomposes post-sensing into
+four phases:
+
+1. **Phase 1** (Eq. 9) — NMOS pair discharges both outputs until one
+   drops by ``V_tp`` and its PMOS turns on: ``t1``.
+2. **Phase 2** (Eq. 10) — positive feedback regenerates the
+   differential: ``t2``, logarithmic in the initial differential
+   ``Delta V_bl(tau_pre)``.
+3. **Phase 3** (Eq. 11) — outputs driven to the rails through
+   ``R_post = R_bl + r_on``: ``t3``.
+4. **Phase 4** (Eq. 12) — the cell capacitor is charged through the
+   restored bitline; the restored voltage approaches ``V_dd``
+   exponentially with time constant ``R_post C_post``.
+
+The refresh *latency knob* lives here: truncating Phase 4 early is what
+a partial refresh is.  :meth:`time_to_fraction` inverts Eq. 12 to give
+the minimum ``tau_post`` that restores a cell to a target fraction of
+full charge — the quantity VRL-DRAM's ``tau_partial`` is built from.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..technology import BankGeometry, TechnologyParams
+from ..units import to_cycles
+
+
+class PostSensingModel:
+    """Four-phase sense-amplification and restoration delays.
+
+    Args:
+        tech: technology parameters (sense-amp device sizes, ``g_me``,
+            ``V_residue``).
+        geometry: bank geometry; sets ``C_bl`` and ``C_post``.
+    """
+
+    def __init__(self, tech: TechnologyParams, geometry: BankGeometry):
+        self.tech = tech
+        self.geometry = geometry
+        self.cbl = tech.cbl(geometry)
+        self.rbl = tech.rbl(geometry)
+        self.c_post = tech.c_post(geometry)
+
+    # ------------------------------------------------------------------ #
+    # Eq. 9: Phase 1                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def idsat_tail(self) -> float:
+        """Saturation current ``I_dsat10`` of the sense NMOS (Eq. 9).
+
+        The paper's expression includes the velocity-saturation style
+        correction ``(1 - 0.75 / (1 + (V_dd - V_tn)/(V_eq - V_tn)))^2``.
+        """
+        tech = self.tech
+        beta = tech.beta_n(tech.wl_sense_n)
+        vov = tech.veq - tech.vtn
+        if vov <= 0:
+            raise ValueError("sense NMOS below threshold at Veq: check Vtn")
+        correction = (1.0 - 0.75 / (1.0 + (tech.vdd - tech.vtn) / vov)) ** 2
+        return beta * vov * vov * correction
+
+    @property
+    def t1(self) -> float:
+        """Phase 1 delay: discharge one output by ``V_tp`` (Eq. 9)."""
+        return self.cbl * self.tech.vtp / self.idsat_tail
+
+    # ------------------------------------------------------------------ #
+    # Eq. 10: Phase 2                                                      #
+    # ------------------------------------------------------------------ #
+
+    def t2(self, delta_vbl: float) -> float:
+        """Phase 2 regeneration delay for an initial differential (Eq. 10).
+
+        Args:
+            delta_vbl: bitline differential at the end of pre-sensing,
+                ``Delta V_bl(tau_pre)`` in volts (must be positive).
+        """
+        if delta_vbl <= 0:
+            raise ValueError(f"differential must be positive, got {delta_vbl}")
+        tech = self.tech
+        beta = tech.beta_n(tech.wl_sense_n)
+        gain_arg = (
+            (1.0 / tech.vtp)
+            * 2.0
+            * math.sqrt(self.idsat_tail / beta)
+            * (tech.vdd - tech.vtp - tech.veq)
+            / delta_vbl
+        )
+        # A differential already larger than the regeneration target
+        # needs no Phase 2 time.
+        if gain_arg <= 1.0:
+            return 0.0
+        return self.cbl / tech.gme * math.log(gain_arg)
+
+    # ------------------------------------------------------------------ #
+    # Eq. 11: Phase 3                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def r_post(self) -> float:
+        """Output drive resistance ``R_post = R_bl + r_on`` (Eq. 11)."""
+        return self.rbl + self.tech.ron_sense
+
+    @property
+    def t3(self) -> float:
+        """Phase 3 delay: drive the outputs to the rails (Eq. 11)."""
+        tech = self.tech
+        return self.r_post * self.cbl * math.log(tech.veq / tech.v_residue)
+
+    def t_sense(self, delta_vbl: float) -> float:
+        """Total sensing delay ``t1 + t2 + t3`` before restoration starts."""
+        return self.t1 + self.t2(delta_vbl) + self.t3
+
+    # ------------------------------------------------------------------ #
+    # Eq. 12: Phase 4 (restoration)                                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tau_restore(self) -> float:
+        """Restoration time constant ``R_post C_post`` (Eq. 12)."""
+        return self.r_post * self.c_post
+
+    def restore_voltage(self, v_start: float, tau_post: float, delta_vbl: float) -> float:
+        """Cell voltage after a post-sensing window of ``tau_post`` (Eq. 12).
+
+        Args:
+            v_start: cell voltage when restoration begins,
+                ``V_s(tau_pre)``.
+            tau_post: total post-sensing time allocated by the memory
+                controller.
+            delta_vbl: bitline differential at sense-amp enable (sets
+                ``t2``).
+
+        Returns:
+            The restored cell voltage; ``v_start`` unchanged if the
+            window is shorter than the sensing phases ``t1 + t2 + t3``.
+        """
+        t_sense = self.t_sense(delta_vbl)
+        if tau_post <= t_sense:
+            return v_start
+        drive = tau_post - t_sense
+        vdd = self.tech.vdd
+        return vdd - (vdd - v_start) * math.exp(-drive / self.tau_restore)
+
+    def time_to_fraction(self, fraction: float, v_start: float, delta_vbl: float) -> float:
+        """Minimum ``tau_post`` restoring the cell to ``fraction * V_dd`` (Eq. 12 inverted).
+
+        Args:
+            fraction: target charge fraction in (0, 1); 0.95 for a
+                partial refresh, ``full_restore_fraction`` for a full one.
+            v_start: cell voltage at the start of post-sensing.
+            delta_vbl: bitline differential at sense-amp enable.
+
+        Raises:
+            ValueError: if the target is not reachable (``fraction`` >= 1)
+                or below the starting voltage (already satisfied: returns
+                the bare sensing time).
+        """
+        if not 0 < fraction < 1:
+            raise ValueError(f"fraction must be in (0,1), got {fraction}")
+        vdd = self.tech.vdd
+        v_target = fraction * vdd
+        t_sense = self.t_sense(delta_vbl)
+        if v_start >= v_target:
+            return t_sense
+        drive = self.tau_restore * math.log((vdd - v_start) / (vdd - v_target))
+        return t_sense + drive
+
+    def delay_cycles(
+        self,
+        clock_period: float,
+        fraction: float,
+        v_start: float,
+        delta_vbl: float,
+    ) -> int:
+        """Quantized ``tau_post`` in cycles of ``clock_period``."""
+        return to_cycles(self.time_to_fraction(fraction, v_start, delta_vbl), clock_period)

@@ -1,0 +1,139 @@
+"""Parameter sensitivity analysis of the analytical refresh model.
+
+The paper files under the CCS concept "Modeling and parameter
+extraction" and notes the framework "can be extended with small effort
+to other technology nodes."  Porting the model to a new node means
+knowing which of the ~20 technology constants actually move ``tRFC`` —
+this module computes exactly that: finite-difference elasticities
+
+    E(p) = (dT / T) / (dp / p)
+
+of the *continuous* (pre-quantization) refresh latencies with respect to
+each technology parameter.  Quantized cycle counts are deliberately not
+differentiated (they are step functions); the continuous latencies are
+what a recalibration would target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..technology import BankGeometry, DEFAULT_GEOMETRY, TechnologyParams
+from .trfc import RefreshLatencyModel
+
+#: Technology parameters swept by default (all continuous, all positive).
+DEFAULT_PARAMETERS = (
+    "cs",
+    "cbl_fixed",
+    "cbl_per_row",
+    "rbl_fixed",
+    "rbl_per_row",
+    "cbb",
+    "cbw",
+    "rwl_per_col",
+    "cwl_per_col",
+    "ron_sense",
+    "gme",
+    "v_residue",
+    "mu_n_cox",
+    "wl_eq",
+    "wl_access",
+    "wl_sense_n",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Elasticities of the refresh latencies w.r.t. one parameter.
+
+    ``elasticity_*`` is the relative latency change per relative
+    parameter change: +1.0 means a 1% parameter increase lengthens the
+    latency by 1%.
+    """
+
+    parameter: str
+    base_value: float
+    elasticity_partial: float
+    elasticity_full: float
+
+    @property
+    def dominant(self) -> bool:
+        """Whether this parameter moves either latency at >= 0.5 elasticity."""
+        return max(abs(self.elasticity_partial), abs(self.elasticity_full)) >= 0.5
+
+
+class SensitivityAnalyzer:
+    """Finite-difference sensitivity of continuous ``tRFC`` latencies.
+
+    Args:
+        tech: baseline technology parameters.
+        geometry: bank geometry to evaluate at.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyParams,
+        geometry: BankGeometry = DEFAULT_GEOMETRY,
+    ):
+        self.tech = tech
+        self.geometry = geometry
+
+    def continuous_latency(
+        self, tech: Optional[TechnologyParams] = None, restore_fraction: Optional[float] = None
+    ) -> float:
+        """Unquantized refresh latency in seconds (Eq. 13 before cycles).
+
+        ``tau_eq + tau_pre + tau_post(fraction) + tau_fixed`` with every
+        phase kept continuous; ``tau_fixed`` keeps its cycle definition
+        (it is a specification constant, not a modeled delay).
+        """
+        tech = tech or self.tech
+        model = RefreshLatencyModel(tech, self.geometry)
+        fraction = (
+            tech.partial_restore_fraction if restore_fraction is None else restore_fraction
+        )
+        t_eq = model.equalization.delay()
+        t_pre = model.presensing.delay(criterion="sense-margin")
+        t_post = model.postsensing.time_to_fraction(
+            fraction, tech.v_fail, model.presensing.effective_sense_margin()
+        )
+        t_fixed = tech.t_fixed_cycles * tech.tck_ctrl
+        return t_eq + t_pre + t_post + t_fixed
+
+    def analyze_parameter(self, name: str, rel_step: float = 0.05) -> SensitivityResult:
+        """Central-difference elasticity for one technology parameter."""
+        base = getattr(self.tech, name)
+        if not isinstance(base, float) or base <= 0:
+            raise ValueError(f"{name} is not a positive float parameter (got {base!r})")
+        if not 0 < rel_step < 0.5:
+            raise ValueError(f"rel_step must be in (0, 0.5), got {rel_step}")
+        up = self.tech.scaled(**{name: base * (1 + rel_step)})
+        down = self.tech.scaled(**{name: base * (1 - rel_step)})
+
+        elasticities = []
+        for fraction in (self.tech.partial_restore_fraction, self.tech.full_restore_fraction):
+            t0 = self.continuous_latency(restore_fraction=fraction)
+            t_up = self.continuous_latency(up, restore_fraction=fraction)
+            t_down = self.continuous_latency(down, restore_fraction=fraction)
+            elasticities.append((t_up - t_down) / (2 * rel_step * t0))
+
+        return SensitivityResult(
+            parameter=name,
+            base_value=base,
+            elasticity_partial=elasticities[0],
+            elasticity_full=elasticities[1],
+        )
+
+    def analyze(
+        self,
+        parameters: Sequence[str] = DEFAULT_PARAMETERS,
+        rel_step: float = 0.05,
+    ) -> list[SensitivityResult]:
+        """Elasticities for every parameter, sorted most-influential first."""
+        results = [self.analyze_parameter(name, rel_step) for name in parameters]
+        results.sort(
+            key=lambda r: max(abs(r.elasticity_partial), abs(r.elasticity_full)),
+            reverse=True,
+        )
+        return results

@@ -1,0 +1,117 @@
+"""Single-cell capacitor baseline model (Li et al. [26]).
+
+The paper compares its analytical model against "the single-cell
+capacitor model of Li et al." in Fig. 5 and Table 1.  That baseline
+treats every stage as one lumped RC on a *nominal* bitline:
+
+* no Phase-1 saturation segment during equalization (a single
+  exponential from the rail toward ``V_eq``) — visibly wrong near
+  ``t = 0+`` in Fig. 5;
+* no bitline-to-bitline or bitline-to-wordline coupling and no
+  distributed wordline — so its pre-sensing estimate is *independent of
+  bank geometry*, which is why Table 1's "Single cell" column is a
+  constant 6 cycles while SPICE and the paper's model grow with the
+  array size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..technology import BankGeometry, TechnologyParams
+from ..units import to_cycles
+
+
+class SingleCellModel:
+    """Lumped single-RC refresh model, geometry-blind by construction.
+
+    Args:
+        tech: technology parameters.  Only the *fixed* (nominal) bitline
+            parasitics ``cbl_fixed``/``rbl_fixed`` are used; the
+            row/column scaling terms are deliberately ignored, matching
+            the baseline's blindness to array geometry.
+    """
+
+    def __init__(self, tech: TechnologyParams):
+        self.tech = tech
+        self.cbl = tech.cbl_fixed
+        self.rbl = tech.rbl_fixed
+
+    # ------------------------------------------------------------------ #
+    # Equalization (single exponential)                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tau_eq(self) -> float:
+        """Single equalization time constant ``(R_bl + r_on2) C_bl``."""
+        ron = self.tech.ron_nmos(self.tech.wl_eq, self.tech.vpp - self.tech.veq)
+        return (self.rbl + ron) * self.cbl
+
+    def equalization_voltage(self, t: float, v_initial: float | None = None) -> float:
+        """Bitline voltage during equalization: one exponential toward ``V_eq``."""
+        tech = self.tech
+        v0 = tech.vdd if v_initial is None else v_initial
+        if t <= 0:
+            return v0
+        return tech.veq + (v0 - tech.veq) * math.exp(-t / self.tau_eq)
+
+    def equalization_waveform(self, times: np.ndarray, v_initial: float | None = None) -> np.ndarray:
+        """Vectorized :meth:`equalization_voltage`."""
+        return np.array([self.equalization_voltage(float(t), v_initial) for t in times])
+
+    # ------------------------------------------------------------------ #
+    # Pre-sensing (uncoupled charge sharing on the nominal bitline)        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def r_pre(self) -> float:
+        """Charge-sharing path resistance on the nominal bitline."""
+        return self.tech.ron_access + self.rbl
+
+    def u(self, t: float) -> float:
+        """Charge-sharing progress ``U(t)`` on the nominal bitline (Eq. 3).
+
+        Same two-capacitor dynamics as the paper's model, but with the
+        fixed nominal ``C_bl``/``R_bl`` and no coupling or wordline terms
+        — a single cell and its bitline in isolation.
+        """
+        if t <= 0:
+            return 1.0
+        cs, cbl = self.tech.cs, self.cbl
+        r = self.r_pre
+        term_slow = cs * math.exp(-t / (r * cbl))
+        term_fast = cbl * math.exp(-t / (r * cs))
+        return (term_slow + term_fast) / (cs + cbl)
+
+    def presensing_delay(self, settle_fraction: float = 0.95) -> float:
+        """Time for charge sharing to reach ``settle_fraction`` completion.
+
+        Solves ``U(t) = 1 - fraction`` by bisection on the monotone
+        ``U``.  Ignores coupling, wordline RC, and geometry — deliberately.
+        """
+        if not 0 < settle_fraction < 1:
+            raise ValueError(f"settle_fraction must be in (0,1), got {settle_fraction}")
+        target = 1.0 - settle_fraction
+        lo, hi = 0.0, 50.0 * self.r_pre * max(self.cbl, self.tech.cs)
+        if self.u(hi) > target:
+            raise ValueError(f"charge sharing never reaches U={target}")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.u(mid) > target:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def presensing_cycles(
+        self, clock_period: float, geometry: BankGeometry | None = None, settle_fraction: float = 0.95
+    ) -> int:
+        """Quantized pre-sensing delay; ``geometry`` accepted and ignored.
+
+        The unused ``geometry`` argument keeps the call signature
+        interchangeable with :class:`~repro.model.presensing.PreSensingModel`
+        in the Table 1 sweep, and documents *why* the column is constant.
+        """
+        return to_cycles(self.presensing_delay(settle_fraction), clock_period)

@@ -1,0 +1,224 @@
+"""Refresh cycle time composition (Eq. 13) and full/partial latencies.
+
+``tRFC = tau_eq + tau_pre + tau_post + tau_fixed`` — this module glues
+the three phase models together, quantizes each phase to controller
+cycles, and exposes the two latencies VRL-DRAM schedules with:
+
+* ``full_refresh()`` — restore to ``full_restore_fraction`` (Sec. 3.1:
+  19 cycles with the paper's breakdown 1 + 2 + 12 + 4);
+* ``partial_refresh()`` — restore to ``partial_restore_fraction`` = 95%
+  (Sec. 3.1: 11 cycles, 1 + 2 + 4 + 4).
+
+It also produces the Fig. 1a charge-restoration curve and the inverse
+mapping (given a latency budget, what fraction is restored) that the
+MPRSF calculator iterates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..technology import BankGeometry, DEFAULT_GEOMETRY, TechnologyParams
+from ..units import to_cycles
+from .equalization import EqualizationModel
+from .postsensing import PostSensingModel
+from .presensing import PreSensingModel
+
+
+@dataclass(frozen=True)
+class RefreshTiming:
+    """A refresh operation's latency breakdown in controller cycles.
+
+    Mirrors Eq. 13: ``total = tau_eq + tau_pre + tau_post + tau_fixed``.
+    ``restore_fraction`` records the charge target this timing achieves.
+    """
+
+    tau_eq: int
+    tau_pre: int
+    tau_post: int
+    tau_fixed: int
+    clock_period: float
+    restore_fraction: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Total ``tRFC`` in controller cycles."""
+        return self.tau_eq + self.tau_pre + self.tau_post + self.tau_fixed
+
+    @property
+    def total_seconds(self) -> float:
+        """Total ``tRFC`` in seconds."""
+        return self.total_cycles * self.clock_period
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"tRFC={self.total_cycles}cy (eq={self.tau_eq}, pre={self.tau_pre}, "
+            f"post={self.tau_post}, fixed={self.tau_fixed}) @ {self.restore_fraction:.3f}"
+        )
+
+
+class RefreshLatencyModel:
+    """End-to-end analytical ``tRFC`` model for one bank geometry.
+
+    Args:
+        tech: technology parameters.
+        geometry: bank geometry (defaults to the paper's 8192x32
+            evaluation bank).
+
+    The component models are exposed as ``.equalization``,
+    ``.presensing`` and ``.postsensing`` for phase-level inspection.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyParams,
+        geometry: BankGeometry = DEFAULT_GEOMETRY,
+    ):
+        self.tech = tech
+        self.geometry = geometry
+        self.equalization = EqualizationModel(tech, geometry)
+        self.presensing = PreSensingModel(tech, geometry)
+        self.postsensing = PostSensingModel(tech, geometry)
+
+    # ------------------------------------------------------------------ #
+    # Phase latencies (controller cycles)                                  #
+    # ------------------------------------------------------------------ #
+
+    def tau_eq_cycles(self) -> int:
+        """Equalization phase in controller cycles (Sec. 3.1: 1)."""
+        return to_cycles(self.equalization.delay(), self.tech.tck_ctrl)
+
+    def tau_pre_cycles(self, pattern: Optional[Sequence[int]] = None) -> int:
+        """Pre-sensing phase in controller cycles (Sec. 3.1: 2).
+
+        Uses the sense-margin criterion — the controller enables the
+        sense amplifier as soon as the worst-case bitline differential
+        is sensable, not when charge sharing fully settles.
+        """
+        return self.presensing.delay_cycles(
+            self.tech.tck_ctrl, criterion="sense-margin", pattern=pattern
+        )
+
+    def tau_post_cycles(self, restore_fraction: float, v_start: Optional[float] = None) -> int:
+        """Post-sensing phase in controller cycles for a restore target.
+
+        Args:
+            restore_fraction: target charge fraction (0.95 partial,
+                ``full_restore_fraction`` full).
+            v_start: cell voltage at the start of post-sensing.  The
+                controller must budget for the worst case — a cell right
+                at the sensing-failure threshold — so this defaults to
+                ``fail_fraction * V_dd``.
+        """
+        tech = self.tech
+        if v_start is None:
+            v_start = tech.v_fail
+        return self.postsensing.delay_cycles(
+            tech.tck_ctrl,
+            restore_fraction,
+            v_start,
+            self.presensing.effective_sense_margin(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Eq. 13: composition                                                  #
+    # ------------------------------------------------------------------ #
+
+    def refresh_timing(
+        self,
+        restore_fraction: float,
+        v_start: Optional[float] = None,
+        pattern: Optional[Sequence[int]] = None,
+    ) -> RefreshTiming:
+        """Full ``tRFC`` breakdown for an arbitrary restore target (Eq. 13)."""
+        return RefreshTiming(
+            tau_eq=self.tau_eq_cycles(),
+            tau_pre=self.tau_pre_cycles(pattern),
+            tau_post=self.tau_post_cycles(restore_fraction, v_start),
+            tau_fixed=self.tech.t_fixed_cycles,
+            clock_period=self.tech.tck_ctrl,
+            restore_fraction=restore_fraction,
+        )
+
+    def full_refresh(self) -> RefreshTiming:
+        """``tau_full``: the timing of a charge-complete refresh."""
+        return self.refresh_timing(self.tech.full_restore_fraction)
+
+    def partial_refresh(self, fraction: Optional[float] = None) -> RefreshTiming:
+        """``tau_partial``: the timing of a truncated (partial) refresh."""
+        target = self.tech.partial_restore_fraction if fraction is None else fraction
+        return self.refresh_timing(target)
+
+    # ------------------------------------------------------------------ #
+    # Fig. 1a and the MPRSF inverse                                        #
+    # ------------------------------------------------------------------ #
+
+    def charge_restoration_curve(self, n_points: int = 101) -> tuple[np.ndarray, np.ndarray]:
+        """Fig. 1a: charge fraction reached vs fraction of full ``tRFC``.
+
+        Traces the continuous restoration trajectory of a cell starting
+        empty (the paper plots 0–100% of charge): flat through the
+        equalization/pre-sensing/sensing phases, then the Eq. 12
+        exponential, normalized to the full-refresh ``tRFC``.
+
+        Returns:
+            ``(time_fraction, charge_fraction)`` arrays of length
+            ``n_points``, both in [0, 1].
+        """
+        if n_points < 2:
+            raise ValueError(f"need at least 2 points, got {n_points}")
+        tech = self.tech
+        full = self.full_refresh()
+        t_total = full.total_seconds
+        t_before_post = (full.tau_eq + full.tau_pre + tech.t_fixed_cycles) * tech.tck_ctrl
+        t_sense = self.postsensing.t_sense(self.presensing.effective_sense_margin())
+        tau_rc = self.postsensing.tau_restore
+
+        times = np.linspace(0.0, t_total, n_points)
+        charges = np.zeros(n_points)
+        for i, t in enumerate(times):
+            t_drive = t - t_before_post - t_sense
+            if t_drive > 0:
+                charges[i] = 1.0 - np.exp(-t_drive / tau_rc)
+        # Normalize so the curve ends at exactly 100% of "full charge"
+        # (the full-refresh target, not the V_dd asymptote).
+        charges /= max(charges[-1], 1e-12)
+        np.clip(charges, 0.0, 1.0, out=charges)
+        return times / t_total, charges
+
+    def restored_fraction(
+        self, start_fraction: float, timing: RefreshTiming, truncate: bool = True
+    ) -> float:
+        """Charge fraction after applying a refresh of the given timing.
+
+        The inverse view of :meth:`refresh_timing`, used by the MPRSF
+        iteration: a cell at ``start_fraction`` of full charge undergoes
+        a refresh whose post-sensing window is ``timing.tau_post``
+        cycles; how charged does it end up?
+
+        Args:
+            start_fraction: charge fraction when the refresh begins.
+            timing: the refresh timing to apply.
+            truncate: when ``True`` (default), the restoration is cut
+                off at the timing's ``restore_fraction`` target — a
+                partial refresh is "truncated at 95% of a cell's charge
+                capacity" (Observation 1), so cycle-quantization slack in
+                ``tau_post`` does not silently overcharge the cell.  Pass
+                ``False`` to model a wordline held open for the whole
+                quantized window.
+        """
+        if start_fraction < 0:
+            raise ValueError(f"charge fraction cannot be negative, got {start_fraction}")
+        tech = self.tech
+        tau_post_seconds = timing.tau_post * tech.tck_ctrl
+        v_start = start_fraction * tech.vdd
+        v_end = self.postsensing.restore_voltage(
+            v_start, tau_post_seconds, self.presensing.effective_sense_margin()
+        )
+        fraction = v_end / tech.vdd
+        if truncate:
+            fraction = min(fraction, max(start_fraction, timing.restore_fraction))
+        return fraction

@@ -1,0 +1,16 @@
+"""MPRSF: mean partial refreshes to sensing failure (Sec. 3.1).
+
+The number of consecutive partial refreshes a cell can sustain between
+two full refreshes without its charge ever dropping below the sensing
+threshold.  :mod:`~repro.mprsf.calculator` iterates the leak/restore
+cycle from the analytical model; :mod:`~repro.mprsf.optimizer` sweeps
+``tau_partial`` candidates over the binned retention profile to find the
+latency that maximizes the refresh-overhead reduction, under all four
+data patterns — reproducing the paper's choice of
+``tau_partial`` = 11 / ``tau_full`` = 19 cycles.
+"""
+
+from .calculator import MPRSFCalculator
+from .optimizer import OptimizerResult, TauPartialOptimizer
+
+__all__ = ["MPRSFCalculator", "OptimizerResult", "TauPartialOptimizer"]

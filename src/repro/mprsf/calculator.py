@@ -1,0 +1,186 @@
+"""MPRSF calculation: iterate the leak/partial-restore cycle (Fig. 1b).
+
+A row's MPRSF is the largest ``m`` such that the schedule
+
+    full, partial x m, full, partial x m, ...
+
+at the row's refresh period never lets the weakest cell's charge drop
+below the sensing-failure threshold.  The dynamics per period are:
+
+1. the cell leaks for one refresh period (exponential,
+   :class:`~repro.model.leakage.LeakageModel`);
+2. if still sensable, a partial refresh restores it along the Eq. 12
+   exponential for the truncated ``tau_post`` window
+   (:class:`~repro.model.trfc.RefreshLatencyModel.restored_fraction`).
+
+Because a partial refresh restores *less* when starting from a lower
+charge, repeated partials converge to a fixed point; strong cells'
+fixed points stay above the failure threshold (unbounded MPRSF, capped
+by the ``nbits`` counter), weak cells' fall below it after a few
+iterations (finite MPRSF) — exactly the behaviour of Fig. 1b.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..model.leakage import LeakageModel
+from ..model.trfc import RefreshLatencyModel, RefreshTiming
+from ..retention.data_patterns import DataPattern, worst_pattern
+from ..technology import BankGeometry, DEFAULT_GEOMETRY, TechnologyParams
+
+
+class MPRSFCalculator:
+    """Computes MPRSF values from the analytical model and a retention profile.
+
+    Args:
+        tech: technology parameters.
+        geometry: bank geometry.
+        refresh_model: optionally share a prebuilt
+            :class:`RefreshLatencyModel` (they are deterministic, so
+            sharing only saves construction time).
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyParams,
+        geometry: BankGeometry = DEFAULT_GEOMETRY,
+        refresh_model: Optional[RefreshLatencyModel] = None,
+    ):
+        self.tech = tech
+        self.geometry = geometry
+        self.model = refresh_model or RefreshLatencyModel(tech, geometry)
+        self.leakage = LeakageModel(tech)
+
+    def charge_trajectory(
+        self,
+        retention_time: float,
+        refresh_period: float,
+        timing: RefreshTiming,
+        n_periods: int,
+        pattern: DataPattern | None = None,
+        samples_per_period: int = 32,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Charge-fraction waveform under repeated refreshes (Fig. 1b).
+
+        Every refresh uses the same ``timing`` (pass the full-refresh
+        timing for the "with full refresh" trace of Fig. 1b, the partial
+        timing for the "with partial refresh" trace).  The cell starts
+        fully charged.
+
+        Returns:
+            ``(times_seconds, charge_fractions)`` sampled densely enough
+            to show the sawtooth.
+        """
+        if n_periods <= 0:
+            raise ValueError(f"n_periods must be positive, got {n_periods}")
+        if samples_per_period < 2:
+            raise ValueError(f"need >=2 samples per period, got {samples_per_period}")
+        pattern = pattern or DataPattern.ALL_ONES
+        derating = pattern.retention_derating
+        tau = self.leakage.tau(retention_time, derating)
+
+        times = [0.0]
+        charges = [1.0]
+        fraction = 1.0
+        for period_index in range(n_periods):
+            t0 = period_index * refresh_period
+            ts = np.linspace(0.0, refresh_period, samples_per_period + 1)[1:]
+            decayed = fraction * np.exp(-ts / tau)
+            times.extend((t0 + ts).tolist())
+            charges.extend(decayed.tolist())
+            # Refresh event at the period boundary.
+            fraction = self.model.restored_fraction(float(decayed[-1]), timing)
+            times.append(t0 + refresh_period)
+            charges.append(fraction)
+        return np.asarray(times), np.asarray(charges)
+
+    def mprsf_for_cell(
+        self,
+        retention_time: float,
+        refresh_period: float,
+        partial_timing: Optional[RefreshTiming] = None,
+        pattern: DataPattern | None = None,
+        max_count: int = 64,
+        apply_guard: bool = True,
+    ) -> int:
+        """MPRSF of a single cell with the given retention time.
+
+        Args:
+            retention_time: profiled retention (seconds).
+            refresh_period: the row's (binned) refresh period (seconds).
+            partial_timing: the partial-refresh timing; defaults to the
+                model's 95% partial refresh.
+            pattern: stored data pattern; defaults to the worst case
+                (the guarantee must hold for any content).
+            max_count: cap for effectively-unbounded cells (strong cells
+                reach a stable fixed point and never fail; the hardware
+                counter width caps them anyway).
+            apply_guard: derate the profiled retention by the
+                technology's ``retention_guard`` (VRT/profiling safety
+                margin).  Disable only for idealized studies.
+
+        Returns:
+            The number of consecutive partial refreshes that are safe
+            after a full refresh.  0 means every refresh must be full.
+        """
+        if refresh_period <= 0:
+            raise ValueError(f"refresh period must be positive, got {refresh_period}")
+        if max_count < 0:
+            raise ValueError(f"max_count must be non-negative, got {max_count}")
+        pattern = pattern or worst_pattern()
+        timing = partial_timing or self.model.partial_refresh()
+        derating = pattern.retention_derating
+        if apply_guard:
+            derating *= self.tech.retention_guard
+        fail = self.tech.fail_fraction
+
+        fraction = 1.0  # immediately after a full refresh
+        for issued_partials in range(max_count + 1):
+            decayed = self.leakage.fraction_after(
+                fraction, refresh_period, retention_time, derating
+            )
+            if decayed < fail:
+                # The cell would fail during this period: the refresh
+                # closing it must have been full, so only the partials
+                # already issued were safe.
+                return issued_partials
+            fraction = self.model.restored_fraction(decayed, timing)
+        return max_count
+
+    def mprsf_for_rows(
+        self,
+        row_retention: np.ndarray,
+        row_period: np.ndarray,
+        partial_timing: Optional[RefreshTiming] = None,
+        pattern: DataPattern | None = None,
+        max_count: int = 64,
+        apply_guard: bool = True,
+    ) -> np.ndarray:
+        """Vector of per-row MPRSF values.
+
+        A row's MPRSF is the minimum over its cells; since profiling
+        already reduced rows to their weakest cell's retention
+        (:class:`~repro.retention.profiler.RetentionProfile`), evaluating
+        the weakest cell suffices — MPRSF is monotone in retention time.
+
+        Results are memoized on (retention rounded to 1 ms, period):
+        8192 rows collapse to a few hundred distinct keys.
+        """
+        if row_retention.shape != row_period.shape:
+            raise ValueError(
+                f"shape mismatch: retention {row_retention.shape} vs period {row_period.shape}"
+            )
+        timing = partial_timing or self.model.partial_refresh()
+        cache: dict[tuple[int, float], int] = {}
+        out = np.empty(len(row_retention), dtype=np.int64)
+        for i, (ret, per) in enumerate(zip(row_retention, row_period)):
+            key = (int(round(ret * 1000)), float(per))
+            if key not in cache:
+                cache[key] = self.mprsf_for_cell(
+                    key[0] / 1000.0, per, timing, pattern, max_count, apply_guard
+                )
+            out[i] = cache[key]
+        return out

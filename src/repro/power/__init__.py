@@ -1,0 +1,14 @@
+"""DRAMPower-style refresh energy model.
+
+The paper reports "VRL-DRAM reduces refresh power by 12% over RAIDR
+(evaluated using the DRAMPower tool [3])".  This package provides the
+equivalent accounting: per-refresh energies decomposed into array
+charging (bitline swing + cell restore, mostly duration-independent)
+and peripheral consumption (proportional to the tRFC the operation
+occupies), so partial refreshes save the time-proportional share while
+still paying for most of the charge movement.
+"""
+
+from .drampower import PowerBreakdown, RefreshPowerModel
+
+__all__ = ["PowerBreakdown", "RefreshPowerModel"]

@@ -1,0 +1,76 @@
+"""The four evaluation data patterns and their retention derating (Sec. 3.1).
+
+The paper selects ``tau_partial`` "using four data patterns (all 0's,
+all 1's, alternate 0's/1's and random) [17, 28] to take into account
+data pattern dependence of DRAM cells."  Pattern dependence acts through
+two mechanisms, both modeled here:
+
+* **coupling** — the stored values of neighbouring cells set the signs
+  of the ``L_self`` vector in the Eq. 7/8 coupled sense-voltage solve;
+  opposing neighbours reduce the victim's swing (handled by
+  :class:`~repro.model.presensing.PreSensingModel`, which consumes the
+  bit sequences produced here);
+* **leakage** — bitline-to-bitline sneak paths (Fig. 2c) leak faster
+  when neighbours hold the opposite value, derating effective retention
+  (Liu et al. [28] observe worst-case patterns costing tens of percent);
+  modeled as the multiplicative ``retention_derating`` consumed by
+  :class:`~repro.model.leakage.LeakageModel`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class DataPattern(Enum):
+    """One of the four data patterns of Sec. 3.1."""
+
+    ALL_ZEROS = "all-zeros"
+    ALL_ONES = "all-ones"
+    ALTERNATING = "alternating"
+    RANDOM = "random"
+
+    def bits(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """A length-``n`` 0/1 bit sequence realizing this pattern.
+
+        ``RANDOM`` requires an ``rng``; the others are deterministic.
+        """
+        if n <= 0:
+            raise ValueError(f"need a positive length, got {n}")
+        if self is DataPattern.ALL_ZEROS:
+            return np.zeros(n, dtype=int)
+        if self is DataPattern.ALL_ONES:
+            return np.ones(n, dtype=int)
+        if self is DataPattern.ALTERNATING:
+            return np.arange(n) % 2
+        if rng is None:
+            raise ValueError("RANDOM pattern requires an rng")
+        return rng.integers(0, 2, size=n)
+
+    @property
+    def retention_derating(self) -> float:
+        """Effective-retention multiplier in (0, 1] for this pattern.
+
+        Uniform patterns see no neighbour-induced sneak leakage (all
+        cells at the same potential); alternating maximizes it; random
+        averages one opposing neighbour per cell.  Magnitudes follow the
+        experimental spread reported by Liu et al. [28].
+        """
+        return {
+            DataPattern.ALL_ZEROS: 1.0,
+            DataPattern.ALL_ONES: 1.0,
+            DataPattern.ALTERNATING: 0.85,
+            DataPattern.RANDOM: 0.92,
+        }[self]
+
+
+def worst_pattern() -> DataPattern:
+    """The pattern with the most pessimistic retention derating.
+
+    VRL-DRAM must guarantee data integrity for *any* stored content, so
+    MPRSF values are computed under this pattern (alternating, which
+    maximizes both sneak leakage and coupling loss).
+    """
+    return min(DataPattern, key=lambda p: p.retention_derating)

@@ -1,0 +1,123 @@
+"""Persistence of retention profiles and deployed VRL tables.
+
+Profiling is expensive on real hardware (REAPER runs take hours per
+chip); the resulting artifacts — the per-row retention profile, the bin
+assignment, and the MPRSF table — are computed once and loaded by the
+memory controller at boot.  This module provides that artifact format:
+a single ``.npz`` (compressed numpy archive) holding everything a
+:func:`~repro.controller.refresh.build_policy` call needs, with
+geometry/version metadata validated on load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..technology import BankGeometry
+from .binning import BinningResult
+from .profiler import RetentionProfile
+
+#: Artifact format version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DeploymentArtifact:
+    """Everything the controller loads at boot for one bank.
+
+    Attributes:
+        profile: the bank's retention profile.
+        binning: the RAIDR bin assignment.
+        mprsf: per-row deployed MPRSF values (counter-capped).
+        nbits: the counter width the MPRSF values were capped to.
+    """
+
+    profile: RetentionProfile
+    binning: BinningResult
+    mprsf: np.ndarray
+    nbits: int
+
+    def __post_init__(self) -> None:
+        rows = self.profile.geometry.rows
+        if len(self.mprsf) != rows or len(self.binning.row_period) != rows:
+            raise ValueError("profile, binning and mprsf must cover the same rows")
+        if self.nbits < 1:
+            raise ValueError(f"nbits must be >= 1, got {self.nbits}")
+        if self.mprsf.max(initial=0) > (1 << self.nbits) - 1:
+            raise ValueError("mprsf values exceed the declared counter width")
+
+
+def save_artifact(artifact: DeploymentArtifact, path: Union[str, Path]) -> None:
+    """Write a deployment artifact as a compressed ``.npz``."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        rows=np.int64(artifact.profile.geometry.rows),
+        cols=np.int64(artifact.profile.geometry.cols),
+        row_retention=artifact.profile.row_retention,
+        periods=np.asarray(artifact.binning.periods),
+        row_period=artifact.binning.row_period,
+        row_bin=artifact.binning.row_bin,
+        mprsf=artifact.mprsf,
+        nbits=np.int64(artifact.nbits),
+    )
+
+
+def load_artifact(path: Union[str, Path]) -> DeploymentArtifact:
+    """Load a deployment artifact, validating format and shapes.
+
+    Raises:
+        ValueError: on a format-version mismatch or internally
+            inconsistent arrays (corrupt/foreign file).
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported artifact format {version} (expected {FORMAT_VERSION})"
+            )
+        geometry = BankGeometry(int(data["rows"]), int(data["cols"]))
+        profile = RetentionProfile(
+            geometry=geometry, row_retention=data["row_retention"].copy()
+        )
+        binning = BinningResult(
+            periods=tuple(float(p) for p in data["periods"]),
+            row_period=data["row_period"].copy(),
+            row_bin=data["row_bin"].copy(),
+        )
+        return DeploymentArtifact(
+            profile=profile,
+            binning=binning,
+            mprsf=data["mprsf"].copy(),
+            nbits=int(data["nbits"]),
+        )
+
+
+def build_artifact(
+    tech,
+    geometry: BankGeometry,
+    seed: int = 2018,
+    nbits: int = 2,
+) -> DeploymentArtifact:
+    """Profile, bin, and compute MPRSF in one step (the "factory flow").
+
+    Convenience wrapper producing a ready-to-save artifact from scratch;
+    equivalent to what ``build_policy`` does internally, but persistable.
+    """
+    from ..mprsf.calculator import MPRSFCalculator
+    from .binning import RefreshBinning
+    from .profiler import RetentionProfiler
+
+    profile = RetentionProfiler(seed=seed).profile(geometry)
+    binning = RefreshBinning().assign(profile)
+    calculator = MPRSFCalculator(tech, geometry)
+    mprsf = calculator.mprsf_for_rows(
+        profile.row_retention, binning.row_period, max_count=(1 << nbits) - 1
+    )
+    return DeploymentArtifact(profile=profile, binning=binning, mprsf=mprsf, nbits=nbits)

@@ -1,0 +1,195 @@
+"""Variable retention time (VRT) modeling (AVATAR [33], Liu et al. [28]).
+
+Some DRAM cells toggle between retention states over time: a cell that
+profiled strong can later retain noticeably less, which is why any
+mechanism that relaxes refresh based on a one-time profile needs a
+safety margin.  This module provides the two-state VRT model used to
+*justify* the ``retention_guard`` of
+:class:`~repro.technology.TechnologyParams`:
+
+* a fraction of cells is VRT-affected;
+* an affected cell's retention can drop to ``degradation x profiled``
+  during the deployment horizon (the worst state it visits);
+* degradations are sampled per cell from ``[min_degradation, 1]``.
+
+The headline analysis (:meth:`VRTModel.integrity_violations`) replays
+the VRL refresh schedule against VRT-degraded retention and counts rows
+that would lose data — zero at the calibrated guard, nonzero without it
+(see ``repro.experiments.ablations`` and the integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..technology import TechnologyParams
+from .profiler import RetentionProfile
+
+
+@dataclass(frozen=True)
+class VRTParameters:
+    """Population parameters of the two-state VRT model.
+
+    Attributes:
+        affected_fraction: fraction of rows containing a VRT cell
+            (weakest-cell view: a row is VRT-affected if its binding
+            cell is).
+        min_degradation: the lowest retention multiplier an affected
+            cell can visit; AVATAR reports worst-case drops of ~2x in
+            pathological cells, typical populations much milder.
+    """
+
+    affected_fraction: float = 0.02
+    min_degradation: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.affected_fraction <= 1:
+            raise ValueError(
+                f"affected_fraction must be in [0,1], got {self.affected_fraction}"
+            )
+        if not 0 < self.min_degradation <= 1:
+            raise ValueError(
+                f"min_degradation must be in (0,1], got {self.min_degradation}"
+            )
+
+
+@dataclass(frozen=True)
+class VRTReport:
+    """Integrity outcome of a VRL schedule under VRT degradation.
+
+    Attributes:
+        total_violations: rows losing data under the VRL schedule.
+        raidr_baseline: rows that would lose data even under pure RAIDR
+            (every refresh full) — the exposure inherited from binning
+            without a VRT guard, which AVATAR addresses and VRL does not
+            claim to fix.
+        partial_induced: violations attributable to partial refreshes
+            (``total - baseline``); the quantity the ``retention_guard``
+            must drive to zero.
+    """
+
+    total_violations: int
+    raidr_baseline: int
+
+    @property
+    def partial_induced(self) -> int:
+        """Violations caused by the partial-refresh scheduling itself."""
+        return self.total_violations - self.raidr_baseline
+
+
+class VRTModel:
+    """Samples VRT-degraded retention and checks schedule integrity.
+
+    Args:
+        params: VRT population parameters.
+        seed: RNG seed for the affected-cell lottery (deterministic
+            studies).
+    """
+
+    def __init__(self, params: VRTParameters | None = None, seed: int = 7):
+        self.params = params or VRTParameters()
+        self.seed = seed
+
+    def degraded_retention(self, profile: RetentionProfile) -> np.ndarray:
+        """Worst-case per-row retention over a deployment horizon.
+
+        Unaffected rows keep their profiled retention; affected rows are
+        degraded by a factor drawn uniformly from
+        ``[min_degradation, 1)``.
+        """
+        rng = np.random.default_rng(self.seed)
+        retention = profile.row_retention.copy()
+        n = len(retention)
+        affected = rng.random(n) < self.params.affected_fraction
+        factors = rng.uniform(self.params.min_degradation, 1.0, size=n)
+        retention[affected] *= factors[affected]
+        return retention
+
+    def integrity_violations(
+        self,
+        tech: TechnologyParams,
+        profile: RetentionProfile,
+        row_period: np.ndarray,
+        mprsf: np.ndarray,
+        n_generations: int = 8,
+    ) -> int:
+        """Rows that lose data under VRT with the given VRL schedule.
+
+        Replays each row's steady-state schedule (``mprsf`` partials per
+        full refresh, at ``row_period``) against the VRT-degraded
+        retention, using the same leakage/restore physics as the MPRSF
+        calculator but *without* any guard or derating — this is the
+        ground truth the margins must cover.
+
+        Args:
+            tech: technology parameters.
+            profile: the (pre-VRT) retention profile the schedule was
+                derived from.
+            row_period: per-row refresh period, seconds.
+            mprsf: per-row deployed MPRSF values (counter-capped).
+            n_generations: full-refresh generations to replay.
+
+        Returns:
+            The number of rows whose charge crosses the failure
+            threshold at least once.
+        """
+        from ..model.leakage import LeakageModel
+        from ..model.trfc import RefreshLatencyModel
+
+        if len(row_period) != len(profile.row_retention) or len(mprsf) != len(row_period):
+            raise ValueError("row_period/mprsf must match the profile's row count")
+        model = RefreshLatencyModel(tech, profile.geometry)
+        leakage = LeakageModel(tech)
+        partial = model.partial_refresh()
+        full = model.full_refresh()
+        degraded = self.degraded_retention(profile)
+
+        violations = 0
+        cache: dict[tuple[int, float, int], bool] = {}
+        for retention, period, m in zip(degraded, row_period, mprsf):
+            key = (int(retention * 1e4), float(period), int(m))
+            if key not in cache:
+                cache[key] = self._row_fails(
+                    leakage, model, partial, full, retention, period, int(m), n_generations
+                )
+            if cache[key]:
+                violations += 1
+        return violations
+
+    def integrity_report(
+        self,
+        tech: TechnologyParams,
+        profile: RetentionProfile,
+        row_period: np.ndarray,
+        mprsf: np.ndarray,
+        n_generations: int = 8,
+    ) -> VRTReport:
+        """Violations under the VRL schedule vs the pure-RAIDR baseline.
+
+        The interesting number is :attr:`VRTReport.partial_induced`:
+        violations that exist *because* of partial refreshes.  With the
+        calibrated ``retention_guard`` it is zero — the guard fully
+        covers the modeled VRT population — while the RAIDR baseline's
+        own VRT exposure (present with or without VRL) is reported
+        separately.
+        """
+        total = self.integrity_violations(tech, profile, row_period, mprsf, n_generations)
+        baseline = self.integrity_violations(
+            tech, profile, row_period, np.zeros_like(mprsf), n_generations
+        )
+        return VRTReport(total_violations=total, raidr_baseline=baseline)
+
+    @staticmethod
+    def _row_fails(leakage, model, partial, full, retention, period, mprsf, n_generations):
+        fraction = 1.0
+        fail = leakage.tech.fail_fraction
+        for _ in range(n_generations):
+            for refresh_index in range(mprsf + 1):
+                fraction = leakage.fraction_after(fraction, period, retention)
+                if fraction < fail:
+                    return True
+                timing = full if refresh_index == mprsf else partial
+                fraction = model.restored_fraction(fraction, timing)
+        return False

@@ -1,0 +1,58 @@
+"""Trace-driven DRAM bank simulation substrate (Sec. 4.1).
+
+The paper feeds Ramulator-generated memory traces into an in-house
+simulator of an 8192x32 bank and measures "cycles spent refreshing the
+bank" under each policy.  This package is that simulator:
+
+* :mod:`~repro.sim.timing` — DDR-style timing parameters in controller
+  cycles;
+* :mod:`~repro.sim.trace` — memory-trace representation and I/O
+  (Ramulator-compatible text format);
+* :mod:`~repro.sim.bank` — a cycle-level single-bank model (row buffer,
+  ACT/PRE/CAS timings, refresh blocking);
+* :mod:`~repro.sim.engine` — the cycle-level trace-driven simulator;
+* :mod:`~repro.sim.fastpath` — an exact, per-row-vectorized evaluator
+  of refresh overhead used for the full Fig. 4 sweep (validated against
+  the cycle-level engine in the integration tests);
+* :mod:`~repro.sim.rank` — multi-bank rank simulation comparing JEDEC
+  all-bank refresh against the per-bank row-targeted mode VRL needs;
+* :mod:`~repro.sim.stats` — result containers;
+* :mod:`~repro.sim.trace_stats` — trace analysis and the closed-form
+  Markov prediction of VRL-Access behaviour from window coverage.
+"""
+
+from .bank import Bank
+from .engine import BankSimulator, SimulationResult
+from .fastpath import RefreshOverheadEvaluator
+from .rank import RankResult, RankSimulator
+from .stats import RefreshStats, RequestStats
+from .timing import DRAMTiming
+from .trace_stats import (
+    TraceStatistics,
+    analyze_trace,
+    predict_vrl_access_cycles,
+    predicted_full_fraction,
+    window_coverage,
+)
+from .trace import MemoryTrace, load_trace, merge_traces, save_trace
+
+__all__ = [
+    "Bank",
+    "BankSimulator",
+    "SimulationResult",
+    "RefreshOverheadEvaluator",
+    "RankResult",
+    "RankSimulator",
+    "RefreshStats",
+    "RequestStats",
+    "DRAMTiming",
+    "TraceStatistics",
+    "analyze_trace",
+    "predict_vrl_access_cycles",
+    "predicted_full_fraction",
+    "window_coverage",
+    "MemoryTrace",
+    "load_trace",
+    "merge_traces",
+    "save_trace",
+]

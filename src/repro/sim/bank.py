@@ -1,0 +1,105 @@
+"""Cycle-level single-bank model: row buffer, timing, refresh blocking.
+
+The bank is a resource that is busy while serving a request or a
+refresh; a refresh makes the bank unavailable for the ``tRFC`` of the
+issued operation (the source of the paper's refresh performance
+overhead).  Open-page policy: the last activated row stays open until a
+conflicting access or a refresh closes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..technology import BankGeometry, DEFAULT_GEOMETRY
+from .timing import DRAMTiming
+
+
+@dataclass(frozen=True)
+class ServiceOutcome:
+    """Result of the bank serving one demand request."""
+
+    start_cycle: int
+    finish_cycle: int
+    latency_cycles: int
+    row_hit: bool
+
+
+@dataclass(frozen=True)
+class RefreshOutcome:
+    """Result of the bank executing one refresh operation."""
+
+    start_cycle: int
+    finish_cycle: int
+    busy_cycles: int
+
+
+class Bank:
+    """One DRAM bank with an open-row buffer and a busy-until clock.
+
+    Args:
+        timing: command timings.
+        geometry: array geometry (bounds row indices).
+    """
+
+    def __init__(self, timing: DRAMTiming, geometry: BankGeometry = DEFAULT_GEOMETRY):
+        self.timing = timing
+        self.geometry = geometry
+        self.open_row: Optional[int] = None
+        self.busy_until: int = 0
+
+    def reset(self) -> None:
+        """Return to the power-up state (precharged, idle at cycle 0)."""
+        self.open_row = None
+        self.busy_until = 0
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.geometry.rows:
+            raise IndexError(f"row {row} out of range [0, {self.geometry.rows})")
+
+    def service(self, arrival_cycle: int, row: int) -> ServiceOutcome:
+        """Serve a demand request to ``row`` arriving at ``arrival_cycle``.
+
+        The request waits for the bank to go idle, then pays the
+        hit/miss/conflict latency; the bank is occupied for that whole
+        window (single in-flight request — FCFS, no command pipelining).
+        """
+        self._check_row(row)
+        start = max(arrival_cycle, self.busy_until)
+        if self.open_row == row:
+            latency = self.timing.row_hit_latency
+            hit = True
+        elif self.open_row is None:
+            latency = self.timing.row_miss_latency
+            hit = False
+        else:
+            latency = self.timing.row_conflict_latency
+            hit = False
+        self.open_row = row
+        finish = start + latency
+        self.busy_until = finish
+        return ServiceOutcome(
+            start_cycle=start,
+            finish_cycle=finish,
+            latency_cycles=finish - arrival_cycle,
+            row_hit=hit,
+        )
+
+    def refresh(self, due_cycle: int, trfc_cycles: int) -> RefreshOutcome:
+        """Execute a refresh of latency ``trfc_cycles`` due at ``due_cycle``.
+
+        A refresh requires a precharged bank: if a row is open, the
+        precharge latency is paid first.  The bank is unavailable for
+        the entire window — the Fig. 4 overhead.
+        """
+        if trfc_cycles <= 0:
+            raise ValueError(f"tRFC must be positive, got {trfc_cycles}")
+        start = max(due_cycle, self.busy_until)
+        busy = trfc_cycles
+        if self.open_row is not None:
+            busy += self.timing.trp
+            self.open_row = None
+        finish = start + busy
+        self.busy_until = finish
+        return RefreshOutcome(start_cycle=start, finish_cycle=finish, busy_cycles=busy)

@@ -1,0 +1,168 @@
+"""Cycle-level trace-driven bank simulator.
+
+Interleaves two event streams in time order — demand requests from a
+:class:`~repro.sim.trace.MemoryTrace` and per-row refresh deadlines from
+the policy's periods — against one :class:`~repro.sim.bank.Bank`.
+Refreshes are scheduled eagerly at their deadline (the controller cannot
+postpone them indefinitely without violating retention), demand requests
+queue FCFS behind whatever the bank is doing.
+
+This engine is the ground truth: it models queueing, row-buffer
+interference, and refresh stalls.  The :mod:`~repro.sim.fastpath`
+evaluator reproduces exactly its refresh accounting (asserted by the
+integration tests) and is what the full Fig. 4 sweep uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from ..controller.refresh import RefreshPolicy
+from ..technology import BankGeometry, DEFAULT_GEOMETRY
+from .bank import Bank
+from .stats import RefreshStats, RequestStats
+from .timing import DRAMTiming
+from .trace import MemoryTrace
+
+
+@dataclass
+class SimulationResult:
+    """Combined refresh and request statistics of one run."""
+
+    refresh: RefreshStats
+    requests: RequestStats
+    policy_name: str
+    trace_name: str
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of bank time spent refreshing (the Fig. 4 metric)."""
+        return self.refresh.overhead
+
+
+class BankSimulator:
+    """Simulates one bank under a refresh policy and an optional trace.
+
+    Args:
+        policy: refresh policy (owns per-row periods and full/partial
+            decisions).
+        timing: command timings.
+        geometry: bank geometry; defaults to the policy's row count on
+            the paper's 32-column array.
+
+    Refresh deadlines are staggered: row ``r`` first refreshes at
+    ``(r / rows) * P_r``, spreading commands across the period exactly
+    like a tREFI-paced controller does.
+    """
+
+    def __init__(
+        self,
+        policy: RefreshPolicy,
+        timing: DRAMTiming,
+        geometry: Optional[BankGeometry] = None,
+    ):
+        self.policy = policy
+        self.timing = timing
+        self.geometry = geometry or BankGeometry(policy.n_rows, DEFAULT_GEOMETRY.cols)
+        if self.geometry.rows != policy.n_rows:
+            raise ValueError(
+                f"geometry rows {self.geometry.rows} != policy rows {policy.n_rows}"
+            )
+        self.bank = Bank(timing, self.geometry)
+
+    def _initial_refresh_heap(self) -> list[tuple[int, int]]:
+        """(due_cycle, row) heap seeded with each row's first deadline."""
+        heap = []
+        n = self.policy.n_rows
+        for row in range(n):
+            period_cycles = self.timing.cycles(self.policy.row_period(row))
+            first_due = (row * period_cycles) // n
+            heap.append((first_due, row))
+        heapq.heapify(heap)
+        return heap
+
+    def run(
+        self,
+        trace: Optional[MemoryTrace] = None,
+        duration_cycles: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate until ``duration_cycles`` (default: trace end).
+
+        Args:
+            trace: demand requests; ``None`` simulates refresh-only.
+            duration_cycles: simulation horizon; refreshes due at or
+                after it are not issued.  Required when no trace is
+                given.
+
+        Returns:
+            A :class:`SimulationResult`; its ``refresh.overhead`` is the
+            Fig. 4 metric.
+        """
+        if duration_cycles is None:
+            if trace is None or len(trace) == 0:
+                raise ValueError("need a trace or an explicit duration")
+            duration_cycles = trace.duration_cycles + 1
+        if duration_cycles <= 0:
+            raise ValueError(f"duration must be positive, got {duration_cycles}")
+
+        self.bank.reset()
+        self.policy.reset()
+        refresh_stats = RefreshStats(duration_cycles=duration_cycles)
+        request_stats = RequestStats()
+        heap = self._initial_refresh_heap()
+        last_busy_was_refresh = False
+
+        n_requests = len(trace) if trace is not None else 0
+        request_index = 0
+
+        while True:
+            next_refresh_due = heap[0][0] if heap else None
+            next_request_at = (
+                int(trace.cycles[request_index]) if request_index < n_requests else None
+            )
+
+            do_refresh = next_refresh_due is not None and next_refresh_due < duration_cycles
+            do_request = next_request_at is not None and next_request_at < duration_cycles
+
+            if not do_refresh and not do_request:
+                break
+
+            # Earliest event first; refresh wins ties (the controller
+            # prioritizes deadline-bound refreshes over demand requests).
+            if do_refresh and (not do_request or next_refresh_due <= next_request_at):
+                due, row = heapq.heappop(heap)
+                command = self.policy.refresh_row(row)
+                self.bank.refresh(due, command.latency_cycles)
+                # Only tRFC counts as refresh overhead (the Fig. 4
+                # metric); any precharge needed to close an open row is
+                # charged to the access stream that opened it.
+                refresh_stats.refresh_cycles += command.latency_cycles
+                if command.kind.value == "full":
+                    refresh_stats.full_refreshes += 1
+                else:
+                    refresh_stats.partial_refreshes += 1
+                period_cycles = self.timing.cycles(self.policy.row_period(row))
+                heapq.heappush(heap, (due + period_cycles, row))
+                last_busy_was_refresh = True
+            else:
+                arrival = next_request_at
+                row = int(trace.rows[request_index])
+                is_write = bool(trace.is_write[request_index])
+                request_index += 1
+                stall = max(0, self.bank.busy_until - arrival)
+                refresh_stall = stall if last_busy_was_refresh else 0
+                outcome = self.bank.service(arrival, row)
+                self.policy.on_access(row)
+                request_stats.record(
+                    is_write, outcome.latency_cycles, outcome.row_hit, refresh_stall
+                )
+                last_busy_was_refresh = False
+
+        return SimulationResult(
+            refresh=refresh_stats,
+            requests=request_stats,
+            policy_name=self.policy.name,
+            trace_name=trace.name if trace is not None else "idle",
+        )

@@ -1,0 +1,109 @@
+"""Exact fast evaluator of refresh overhead for full-length traces.
+
+The cycle-level engine walks every demand request; for the Fig. 4 sweep
+(a dozen benchmarks x several policies x seconds of simulated time) that
+is needlessly slow, because refresh accounting only depends on *which
+rows were accessed in which refresh interval*, never on how many times
+or exactly when within the interval (an extra ``on_access`` reset of an
+already-reset counter is a no-op).
+
+This evaluator therefore processes rows independently: it walks each
+row's refresh deadlines in order, asks the policy for the refresh kind
+exactly like the engine does, and applies at most one ``on_access`` per
+(row, interval) — computed with a ``searchsorted`` over the row's access
+times.  The event ordering semantics match the engine's (refresh wins
+ties, an access at cycle ``c`` affects the first refresh due strictly
+after ``c``), so the refresh statistics are identical; the integration
+tests assert this against :class:`~repro.sim.engine.BankSimulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..controller.refresh import RefreshPolicy
+from .stats import RefreshStats
+from .timing import DRAMTiming
+from .trace import MemoryTrace
+
+
+class RefreshOverheadEvaluator:
+    """Per-row-vectorized refresh-overhead evaluation.
+
+    Args:
+        policy: refresh policy to drive.
+        timing: command timings (sets the tREFI-staggered deadlines and
+            the cycle clock).
+    """
+
+    def __init__(self, policy: RefreshPolicy, timing: DRAMTiming):
+        self.policy = policy
+        self.timing = timing
+
+    def _accesses_by_row(self, trace: Optional[MemoryTrace]) -> dict[int, np.ndarray]:
+        """Sorted access-cycle arrays keyed by row (empty without a trace)."""
+        if trace is None or len(trace) == 0:
+            return {}
+        order = np.argsort(trace.rows, kind="stable")
+        rows_sorted = trace.rows[order]
+        cycles_sorted = trace.cycles[order]
+        boundaries = np.nonzero(np.diff(rows_sorted))[0] + 1
+        groups = np.split(np.arange(len(rows_sorted)), boundaries)
+        out: dict[int, np.ndarray] = {}
+        for group in groups:
+            if len(group) == 0:
+                continue
+            row = int(rows_sorted[group[0]])
+            # Stable sort keeps trace order, and trace cycles are
+            # non-decreasing, so each group is already sorted by cycle.
+            out[row] = cycles_sorted[group]
+        return out
+
+    def evaluate(
+        self,
+        duration_cycles: int,
+        trace: Optional[MemoryTrace] = None,
+    ) -> RefreshStats:
+        """Refresh statistics over ``duration_cycles`` of simulated time.
+
+        Args:
+            duration_cycles: simulation horizon; refreshes due at or
+                after it are not issued (same convention as the engine).
+            trace: demand accesses (only their (row, cycle) structure is
+                used).
+        """
+        if duration_cycles <= 0:
+            raise ValueError(f"duration must be positive, got {duration_cycles}")
+        self.policy.reset()
+        stats = RefreshStats(duration_cycles=duration_cycles)
+        accesses = self._accesses_by_row(trace)
+        n = self.policy.n_rows
+
+        for row in range(n):
+            period = self.timing.cycles(self.policy.row_period(row))
+            first_due = (row * period) // n
+            if first_due >= duration_cycles:
+                continue
+            dues = np.arange(first_due, duration_cycles, period, dtype=np.int64)
+            row_accesses = accesses.get(row)
+            if row_accesses is not None and len(row_accesses) > 0:
+                # Number of accesses strictly before each deadline; an
+                # increase since the previous deadline means at least
+                # one access landed in the interval.
+                seen = np.searchsorted(row_accesses, dues, side="left")
+                had_access = np.diff(np.concatenate(([0], seen))) > 0
+            else:
+                had_access = np.zeros(len(dues), dtype=bool)
+
+            for due_index in range(len(dues)):
+                if had_access[due_index]:
+                    self.policy.on_access(row)
+                command = self.policy.refresh_row(row)
+                stats.refresh_cycles += command.latency_cycles
+                if command.kind.value == "full":
+                    stats.full_refreshes += 1
+                else:
+                    stats.partial_refreshes += 1
+        return stats

@@ -1,0 +1,330 @@
+"""Multi-bank rank simulation: refresh at the rank level.
+
+The paper's opening problem statement is that "a DRAM bank/rank becomes
+unavailable to service access requests while being refreshed."  The
+single-bank engine measures the bank side; this module adds the rank
+view, which is where conventional DDR refresh actually operates:
+
+* **all-bank refresh** (JEDEC ``REF``): every tREFI the controller
+  issues one command that occupies *all* banks for the (longer)
+  all-bank ``tRFC`` — the baseline modern controllers use;
+* **per-bank refresh**: row-targeted refreshes to one bank at a time,
+  leaving the other banks available — the mode RAIDR/VRL need (they
+  must choose per-row latencies), which also recovers bank-level
+  parallelism during refresh.
+
+A :class:`RankSimulator` runs one refresh policy instance per bank (each
+bank gets its own retention profile slice) against a bank-annotated
+trace, reporting both per-bank refresh overhead and the rank-level
+*blocked-time* fraction — the probability an arriving request finds its
+target bank refreshing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..controller.refresh import RefreshPolicy
+from ..technology import BankGeometry, DEFAULT_GEOMETRY
+from .bank import Bank
+from .stats import RefreshStats, RequestStats
+from .timing import DRAMTiming
+from .trace import MemoryTrace
+
+#: Rows of every bank covered by one all-bank REF command; its tRFC is
+#: this multiple of the single-row latency (a JEDEC REF refreshes
+#: several rows per bank back-to-back, which is why rank-level tRFC is
+#: far larger than a row cycle).
+ALL_BANK_ROWS_PER_REF = 4
+
+
+@dataclass
+class RankResult:
+    """Outcome of a rank simulation.
+
+    Attributes:
+        per_bank_refresh: refresh statistics per bank.
+        requests: aggregate demand-request statistics.
+        blocked_cycles: cycles during which at least one bank was busy
+            refreshing (rank-level unavailability).
+        duration_cycles: simulated horizon.
+        mode: ``"per-bank"`` or ``"all-bank"``.
+    """
+
+    per_bank_refresh: list[RefreshStats]
+    requests: RequestStats
+    blocked_cycles: int
+    duration_cycles: int
+    mode: str
+
+    @property
+    def total_refresh_cycles(self) -> int:
+        """Sum of refresh-busy cycles across banks."""
+        return sum(s.refresh_cycles for s in self.per_bank_refresh)
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Mean per-bank refresh overhead (the Fig. 4 metric, rank-wide)."""
+        if self.duration_cycles <= 0:
+            return 0.0
+        n_banks = len(self.per_bank_refresh)
+        return self.total_refresh_cycles / (self.duration_cycles * n_banks)
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Fraction of time the rank had >= 1 bank refreshing."""
+        if self.duration_cycles <= 0:
+            return 0.0
+        return self.blocked_cycles / self.duration_cycles
+
+
+class RankSimulator:
+    """Simulates ``n_banks`` banks under per-bank refresh policies.
+
+    Args:
+        policies: one refresh policy per bank (their ``n_rows`` must all
+            match the geometry).
+        timing: command timings.
+        geometry: per-bank geometry.
+        all_bank_refresh: use JEDEC all-bank REF every tREFI instead of
+            the policies' row-targeted schedules.  In this mode the
+            *first* policy's conventional 64 ms pacing is used and every
+            REF blocks all banks; per-bank binning/MPRSF are ignored —
+            this is the conventional baseline.
+    """
+
+    def __init__(
+        self,
+        policies: Sequence[RefreshPolicy],
+        timing: DRAMTiming,
+        geometry: BankGeometry = DEFAULT_GEOMETRY,
+        all_bank_refresh: bool = False,
+    ):
+        if not policies:
+            raise ValueError("need at least one bank policy")
+        for index, policy in enumerate(policies):
+            if policy.n_rows != geometry.rows:
+                raise ValueError(
+                    f"bank {index}: policy rows {policy.n_rows} != geometry rows "
+                    f"{geometry.rows}"
+                )
+        self.policies = list(policies)
+        self.timing = timing
+        self.geometry = geometry
+        self.all_bank_refresh = all_bank_refresh
+        self.banks = [Bank(timing, geometry) for _ in policies]
+
+    @property
+    def n_banks(self) -> int:
+        """Number of banks in the rank."""
+        return len(self.policies)
+
+    # ------------------------------------------------------------------ #
+    # Refresh event streams                                               #
+    # ------------------------------------------------------------------ #
+
+    def _per_bank_heap(self) -> list[tuple[int, int, int]]:
+        """(due, bank, row) heap for row-targeted refresh."""
+        heap = []
+        n = self.geometry.rows
+        for bank_index, policy in enumerate(self.policies):
+            for row in range(n):
+                period = self.timing.cycles(policy.row_period(row))
+                # Stagger across rows and banks so refreshes spread out.
+                first_due = (row * period) // n + (bank_index * period) // (
+                    n * self.n_banks
+                )
+                heap.append((first_due, bank_index, row))
+        heapq.heapify(heap)
+        return heap
+
+    def _all_bank_refreshes(self, duration_cycles: int):
+        """Yield REF due-cycles for JEDEC all-bank pacing.
+
+        Every row of every bank must be covered once per 64 ms; with
+        ``ALL_BANK_ROWS_PER_REF`` rows per command, the REF interval is
+        ``64 ms / (rows / rows_per_ref)``.
+        """
+        refs_per_period = max(1, self.geometry.rows // ALL_BANK_ROWS_PER_REF)
+        interval = max(1, self.timing.cycles(64e-3) // refs_per_period)
+        due = 0
+        while due < duration_cycles:
+            yield due
+            due += interval
+
+    # ------------------------------------------------------------------ #
+    # Simulation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        trace: Optional[MemoryTrace] = None,
+        duration_cycles: Optional[int] = None,
+        bank_of_row: Optional[np.ndarray] = None,
+    ) -> RankResult:
+        """Simulate the rank.
+
+        Args:
+            trace: demand requests; rows index into a per-bank address
+                space and are assigned to banks by ``bank_of_row`` or
+                round-robin on the low row bits.
+            duration_cycles: horizon (required if no trace).
+            bank_of_row: optional per-request bank indices, shape
+                ``(len(trace),)``.
+        """
+        if duration_cycles is None:
+            if trace is None or len(trace) == 0:
+                raise ValueError("need a trace or an explicit duration")
+            duration_cycles = trace.duration_cycles + 1
+        if duration_cycles <= 0:
+            raise ValueError(f"duration must be positive, got {duration_cycles}")
+
+        for bank in self.banks:
+            bank.reset()
+        for policy in self.policies:
+            policy.reset()
+
+        refresh_stats = [
+            RefreshStats(duration_cycles=duration_cycles) for _ in self.policies
+        ]
+        request_stats = RequestStats()
+        blocked_intervals: list[tuple[int, int]] = []
+
+        if trace is not None and len(trace):
+            if bank_of_row is None:
+                banks_for_requests = (trace.rows % self.n_banks).astype(np.int64)
+            else:
+                banks_for_requests = np.asarray(bank_of_row, dtype=np.int64)
+                if banks_for_requests.shape != (len(trace),):
+                    raise ValueError(
+                        f"bank_of_row shape {banks_for_requests.shape} != ({len(trace)},)"
+                    )
+                if (banks_for_requests < 0).any() or (
+                    banks_for_requests >= self.n_banks
+                ).any():
+                    raise ValueError("bank indices out of range")
+        else:
+            banks_for_requests = None
+
+        if self.all_bank_refresh:
+            self._run_all_bank(
+                trace, banks_for_requests, duration_cycles, refresh_stats,
+                request_stats, blocked_intervals,
+            )
+        else:
+            self._run_per_bank(
+                trace, banks_for_requests, duration_cycles, refresh_stats,
+                request_stats, blocked_intervals,
+            )
+
+        blocked = _union_length(blocked_intervals, duration_cycles)
+        return RankResult(
+            per_bank_refresh=refresh_stats,
+            requests=request_stats,
+            blocked_cycles=blocked,
+            duration_cycles=duration_cycles,
+            mode="all-bank" if self.all_bank_refresh else "per-bank",
+        )
+
+    def _serve_request(self, bank_index, arrival, row, is_write, request_stats):
+        bank = self.banks[bank_index]
+        stall = max(0, bank.busy_until - arrival)
+        outcome = bank.service(arrival, row)
+        self.policies[bank_index].on_access(row)
+        request_stats.record(is_write, outcome.latency_cycles, outcome.row_hit, stall)
+
+    def _run_per_bank(
+        self, trace, banks_for_requests, duration_cycles, refresh_stats,
+        request_stats, blocked_intervals,
+    ):
+        heap = self._per_bank_heap()
+        n_requests = len(trace) if trace is not None else 0
+        request_index = 0
+        while True:
+            next_due = heap[0][0] if heap else None
+            next_req = (
+                int(trace.cycles[request_index]) if request_index < n_requests else None
+            )
+            do_ref = next_due is not None and next_due < duration_cycles
+            do_req = next_req is not None and next_req < duration_cycles
+            if not do_ref and not do_req:
+                break
+            if do_ref and (not do_req or next_due <= next_req):
+                due, bank_index, row = heapq.heappop(heap)
+                command = self.policies[bank_index].refresh_row(row)
+                outcome = self.banks[bank_index].refresh(due, command.latency_cycles)
+                stats = refresh_stats[bank_index]
+                stats.refresh_cycles += command.latency_cycles
+                if command.kind.value == "full":
+                    stats.full_refreshes += 1
+                else:
+                    stats.partial_refreshes += 1
+                blocked_intervals.append((outcome.start_cycle, outcome.finish_cycle))
+                period = self.timing.cycles(self.policies[bank_index].row_period(row))
+                heapq.heappush(heap, (due + period, bank_index, row))
+            else:
+                row = int(trace.rows[request_index])
+                is_write = bool(trace.is_write[request_index])
+                bank_index = int(banks_for_requests[request_index])
+                self._serve_request(bank_index, next_req, row % self.geometry.rows,
+                                    is_write, request_stats)
+                request_index += 1
+
+    def _run_all_bank(
+        self, trace, banks_for_requests, duration_cycles, refresh_stats,
+        request_stats, blocked_intervals,
+    ):
+        trfc = self.policies[0].tau_full * ALL_BANK_ROWS_PER_REF
+        refresh_dues = list(self._all_bank_refreshes(duration_cycles))
+        n_requests = len(trace) if trace is not None else 0
+        request_index = 0
+        due_index = 0
+        while True:
+            next_due = refresh_dues[due_index] if due_index < len(refresh_dues) else None
+            next_req = (
+                int(trace.cycles[request_index]) if request_index < n_requests else None
+            )
+            do_ref = next_due is not None
+            do_req = next_req is not None and next_req < duration_cycles
+            if not do_ref and not do_req:
+                break
+            if do_ref and (not do_req or next_due <= next_req):
+                start = next_due
+                for bank_index, bank in enumerate(self.banks):
+                    outcome = bank.refresh(next_due, trfc)
+                    start = max(start, outcome.start_cycle)
+                    stats = refresh_stats[bank_index]
+                    stats.refresh_cycles += trfc
+                    # One REF covers several rows; count row-refreshes so
+                    # the totals are comparable with per-bank modes.
+                    stats.full_refreshes += ALL_BANK_ROWS_PER_REF
+                blocked_intervals.append((start, start + trfc))
+                due_index += 1
+            else:
+                row = int(trace.rows[request_index])
+                is_write = bool(trace.is_write[request_index])
+                bank_index = int(banks_for_requests[request_index])
+                self._serve_request(bank_index, next_req, row % self.geometry.rows,
+                                    is_write, request_stats)
+                request_index += 1
+
+
+def _union_length(intervals: list[tuple[int, int]], horizon: int) -> int:
+    """Total length of the union of [start, end) intervals, clipped to horizon."""
+    if not intervals:
+        return 0
+    intervals = sorted(intervals)
+    total = 0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += min(current_end, horizon) - min(current_start, horizon)
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    total += min(current_end, horizon) - min(current_start, horizon)
+    return max(0, total)

@@ -1,0 +1,79 @@
+"""DRAM timing parameters in controller clock cycles.
+
+Latencies other than ``tRFC`` follow DDR3-class ratios; ``tRFC`` values
+come from the analytical model (``tau_full`` = 19, ``tau_partial`` = 11
+controller cycles at the calibrated clock).  ``tREFI`` is the JEDEC
+7.8125 us refresh-command interval: 8192 commands per 64 ms period, one
+row of the paper's 8192-row bank per command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..technology import TechnologyParams
+from ..units import MS, to_cycles
+
+#: JEDEC refresh interval: 64 ms / 8192 refresh commands.
+TREFI_SECONDS = 64 * MS / 8192
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Single-bank command timings, all in controller cycles.
+
+    Attributes:
+        tck: controller clock period, seconds.
+        trcd: ACT-to-CAS delay.
+        trp: precharge latency.
+        tcl: CAS (column access) latency.
+        tburst: data-burst duration.
+        trefi: refresh-command interval.
+    """
+
+    tck: float
+    trcd: int = 7
+    trp: int = 7
+    tcl: int = 7
+    tburst: int = 4
+    trefi: int = 3720
+
+    def __post_init__(self) -> None:
+        if self.tck <= 0:
+            raise ValueError(f"tck must be positive, got {self.tck}")
+        for name in ("trcd", "trp", "tcl", "tburst", "trefi"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+
+    @classmethod
+    def from_technology(cls, tech: TechnologyParams) -> "DRAMTiming":
+        """Derive timings from a technology's controller clock.
+
+        ``tREFI`` is quantized from the JEDEC interval; the access
+        latencies keep their DDR3-class defaults, which at the ~2.1 ns
+        calibrated clock land near their usual ~15 ns values.
+        """
+        return cls(tck=tech.tck_ctrl, trefi=to_cycles(TREFI_SECONDS, tech.tck_ctrl))
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Cycles to serve a request hitting the open row (CAS + burst)."""
+        return self.tcl + self.tburst
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Cycles to serve a request to a closed bank (ACT + CAS + burst)."""
+        return self.trcd + self.tcl + self.tburst
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Cycles to serve a request conflicting with an open row."""
+        return self.trp + self.trcd + self.tcl + self.tburst
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count to seconds at this clock."""
+        return cycles * self.tck
+
+    def cycles(self, seconds: float) -> int:
+        """Convert seconds to (ceiling) controller cycles."""
+        return to_cycles(seconds, self.tck)

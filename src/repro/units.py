@@ -1,0 +1,91 @@
+"""SI unit helpers used throughout the VRL-DRAM reproduction.
+
+All internal quantities are plain SI floats: seconds, volts, amperes,
+farads, ohms, square metres.  These constants make literals in calibration
+code and tests self-documenting, e.g. ``64 * MS`` or ``24 * FF``.
+"""
+
+from __future__ import annotations
+
+# --- time ---------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+
+# --- capacitance ---------------------------------------------------------
+F = 1.0
+PF = 1e-12
+FF = 1e-15
+AF = 1e-18
+
+# --- resistance ----------------------------------------------------------
+OHM = 1.0
+KOHM = 1e3
+MOHM = 1e6
+
+# --- voltage / current ---------------------------------------------------
+V = 1.0
+MV = 1e-3
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+
+# --- length / area -------------------------------------------------------
+M = 1.0
+UM = 1e-6
+NM = 1e-9
+UM2 = 1e-12
+NM2 = 1e-18
+
+
+def to_cycles(time_s: float, clock_period_s: float) -> int:
+    """Quantize a continuous delay to a whole number of clock cycles.
+
+    DRAM timing parameters are specified to the memory controller as
+    integer multiples of the clock period; any fractional remainder must
+    round *up* (the controller cannot issue mid-cycle), so this is a
+    ceiling division with a small epsilon guard against floating-point
+    noise (e.g. ``3.0000000004`` cycles must not become 4).
+
+    Args:
+        time_s: continuous delay in seconds (must be >= 0).
+        clock_period_s: clock period in seconds (must be > 0).
+
+    Returns:
+        The smallest integer cycle count whose duration covers ``time_s``.
+    """
+    if clock_period_s <= 0:
+        raise ValueError(f"clock period must be positive, got {clock_period_s}")
+    if time_s < 0:
+        raise ValueError(f"delay must be non-negative, got {time_s}")
+    ratio = time_s / clock_period_s
+    eps = 1e-9
+    import math
+
+    return max(0, math.ceil(ratio - eps))
+
+
+def format_si(value: float, unit: str) -> str:
+    """Render ``value`` with an SI prefix, e.g. ``format_si(2.4e-14, 'F') == '24.00 fF'``.
+
+    Used by experiment drivers to print human-readable parameter tables.
+    """
+    prefixes = [
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ]
+    if value == 0:
+        return f"0.00 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.2f} {prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.2f} {prefix}{unit}"

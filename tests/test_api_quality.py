@@ -1,0 +1,143 @@
+"""Meta-tests on API quality: docstrings, exports, and import hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.area",
+    "repro.circuit",
+    "repro.controller",
+    "repro.experiments",
+    "repro.model",
+    "repro.mprsf",
+    "repro.power",
+    "repro.retention",
+    "repro.sim",
+    "repro.workloads",
+]
+
+
+def _all_modules():
+    modules = []
+    for name in PACKAGES:
+        package = importlib.import_module(name)
+        modules.append(package)
+        for info in pkgutil.iter_modules(package.__path__, prefix=f"{name}."):
+            modules.append(importlib.import_module(info.name))
+    return modules
+
+
+ALL_MODULES = _all_modules()
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_module_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_public_members_documented(self, module):
+        """Every public class and function defined in the package has a
+        docstring, and every public method of every public class does."""
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if not getattr(obj, "__module__", "").startswith("repro"):
+                continue
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(f"{module.__name__}.{name}")
+            if inspect.isclass(obj):
+                for method_name, method in vars(obj).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not (inspect.isfunction(method) or isinstance(method, property)):
+                        continue
+                    # getattr + getdoc honors documentation inherited
+                    # from a documented base-class method (overrides of
+                    # stamp/nodes/refresh_row etc. need no copy-paste).
+                    attribute = getattr(obj, method_name, None)
+                    if attribute is None:
+                        continue
+                    doc = inspect.getdoc(attribute)
+                    if not (doc and doc.strip()):
+                        undocumented.append(f"{module.__name__}.{name}.{method_name}")
+        assert undocumented == []
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("package_name", PACKAGES[1:])
+    def test_package_all_resolves(self, package_name):
+        package = importlib.import_module(package_name)
+        if hasattr(package, "__all__"):
+            for name in package.__all__:
+                assert hasattr(package, name), f"{package_name}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestLayering:
+    """The architecture guide's 'nothing imports upward' rule."""
+
+    FORBIDDEN = {
+        "repro.model": ["repro.controller", "repro.sim", "repro.experiments"],
+        "repro.circuit": ["repro.model", "repro.controller", "repro.sim"],
+        "repro.retention": ["repro.controller", "repro.sim", "repro.experiments"],
+        "repro.controller": ["repro.sim", "repro.experiments"],
+        "repro.sim": ["repro.experiments", "repro.workloads"],
+    }
+
+    @pytest.mark.parametrize("lower,uppers", FORBIDDEN.items(), ids=lambda x: str(x))
+    def test_no_upward_imports(self, lower, uppers):
+        import sys
+
+        package = importlib.import_module(lower)
+        for info in pkgutil.iter_modules(package.__path__, prefix=f"{lower}."):
+            importlib.import_module(info.name)
+        source_modules = [m for m in sys.modules if m.startswith(lower + ".") or m == lower]
+        for module_name in source_modules:
+            module = sys.modules[module_name]
+            source = getattr(module, "__file__", None)
+            if not source:
+                continue
+            with open(source) as fh:
+                text = fh.read()
+            for upper in uppers:
+                forbidden = f"from {upper.replace('repro', '..', 1)}" if False else upper
+                # Check both absolute and the corresponding relative form.
+                relative = upper.replace("repro.", "")
+                assert f"from {upper}" not in text and f"import {upper}" not in text, (
+                    f"{module_name} imports {upper}"
+                )
+                assert f"from ..{relative} import" not in text, (
+                    f"{module_name} imports ..{relative}"
+                )
+
+
+class TestApiReference:
+    def test_reference_is_current(self, tmp_path, monkeypatch):
+        """docs/api_reference.md matches a fresh generation (no drift)."""
+        import importlib.util
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parent.parent / "scripts" / "generate_api_reference.py"
+        spec = importlib.util.spec_from_file_location("gen_api_ref", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        committed = module.OUTPUT.read_text()
+        monkeypatch.setattr(module, "OUTPUT", tmp_path / "api.md")
+        module.main()
+        assert (tmp_path / "api.md").read_text() == committed

@@ -1,0 +1,40 @@
+"""Tests for the calibration helper script (scripts/calibrate.py).
+
+The script is a development tool, but its helpers define what
+"calibrated" means; they must keep working against the shipped defaults
+so a re-calibration (new node, new targets) starts from a green state.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.technology import DEFAULT_TECH
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "calibrate.py"
+
+
+@pytest.fixture(scope="module")
+def calibrate():
+    spec = importlib.util.spec_from_file_location("calibrate_script", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["calibrate_script"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCalibrateHelpers:
+    def test_script_exists(self):
+        assert SCRIPT.exists()
+
+    def test_sec31_breakdown_of_defaults(self, calibrate):
+        assert calibrate.sec31_breakdown(DEFAULT_TECH) == calibrate.SEC31_TARGET == (1, 2, 4, 12)
+
+    def test_table1_column_of_defaults(self, calibrate):
+        assert calibrate.table1_column(DEFAULT_TECH) == calibrate.TABLE1_TARGET
+
+    def test_targets_match_paper(self, calibrate):
+        assert calibrate.TABLE1_TARGET == (7, 8, 9, 10, 12, 14)
+        assert calibrate.SINGLE_CELL_TARGET == 6

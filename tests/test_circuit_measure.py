@@ -1,0 +1,70 @@
+"""Unit tests for repro.circuit.measure."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import crossing_time, settle_time, value_at
+from repro.circuit.solver import TransientResult
+
+
+def _result(times, values, node="a"):
+    return TransientResult(
+        time=np.asarray(times, dtype=float),
+        voltages={node: np.asarray(values, dtype=float)},
+    )
+
+
+class TestCrossingTime:
+    def test_rising_crossing_interpolated(self):
+        r = _result([0, 1, 2], [0.0, 0.5, 1.0])
+        assert crossing_time(r, "a", 0.75) == pytest.approx(1.5)
+
+    def test_falling_crossing(self):
+        r = _result([0, 1, 2], [1.0, 0.5, 0.0])
+        assert crossing_time(r, "a", 0.25, rising=False) == pytest.approx(1.5)
+
+    def test_no_crossing_returns_none(self):
+        r = _result([0, 1, 2], [0.0, 0.1, 0.2])
+        assert crossing_time(r, "a", 0.5) is None
+
+    def test_after_skips_early_crossings(self):
+        r = _result([0, 1, 2, 3, 4], [0.0, 1.0, 0.0, 1.0, 1.0])
+        t = crossing_time(r, "a", 0.5, after=1.5)
+        assert t == pytest.approx(2.5)
+
+    def test_wrong_direction_ignored(self):
+        r = _result([0, 1, 2], [1.0, 0.5, 0.0])
+        assert crossing_time(r, "a", 0.5, rising=True) is None
+
+    def test_flat_segment_at_threshold(self):
+        r = _result([0, 1, 2], [0.0, 0.5, 0.5])
+        assert crossing_time(r, "a", 0.5) == pytest.approx(1.0)
+
+
+class TestSettleTime:
+    def test_settles_midway(self):
+        r = _result([0, 1, 2, 3, 4], [1.0, 0.5, 0.11, 0.105, 0.10])
+        t = settle_time(r, "a", target=0.1, tolerance=0.02)
+        assert t == pytest.approx(2.0)
+
+    def test_never_settles(self):
+        r = _result([0, 1, 2], [1.0, 0.9, 0.8])
+        assert settle_time(r, "a", target=0.0, tolerance=0.05) is None
+
+    def test_settled_from_start(self):
+        r = _result([0, 1, 2], [0.1, 0.1, 0.1])
+        assert settle_time(r, "a", target=0.1, tolerance=0.01) == pytest.approx(0.0)
+
+    def test_last_sample_outside_returns_none(self):
+        r = _result([0, 1, 2], [0.1, 0.1, 1.0])
+        assert settle_time(r, "a", target=0.1, tolerance=0.01) is None
+
+    def test_after_window(self):
+        r = _result([0, 1, 2, 3], [5.0, 0.1, 0.1, 0.1])
+        assert settle_time(r, "a", target=0.1, tolerance=0.01, after=0.5) == pytest.approx(1.0)
+
+
+class TestValueAt:
+    def test_interpolates(self):
+        r = _result([0, 2], [0.0, 1.0])
+        assert value_at(r, "a", 1.0) == pytest.approx(0.5)

@@ -1,0 +1,80 @@
+"""Unit tests for repro.circuit.waveforms."""
+
+import pytest
+
+from repro.circuit import constant, piecewise_linear, pulse, step
+
+
+class TestConstant:
+    def test_value_everywhere(self):
+        w = constant(0.6)
+        assert w(0.0) == 0.6
+        assert w(-1.0) == 0.6
+        assert w(1e6) == 0.6
+
+
+class TestStep:
+    def test_before_and_after(self):
+        w = step(0.0, 1.2, t_step=1e-9, t_rise=1e-12)
+        assert w(0.0) == 0.0
+        assert w(1e-9) == 0.0
+        assert w(2e-9) == 1.2
+
+    def test_ramp_midpoint(self):
+        w = step(0.0, 1.0, t_step=0.0, t_rise=2e-12)
+        assert w(1e-12) == pytest.approx(0.5)
+
+    def test_falling_step(self):
+        w = step(1.6, 0.0, t_step=1e-9, t_rise=1e-12)
+        assert w(0.5e-9) == 1.6
+        assert w(2e-9) == 0.0
+
+    def test_rejects_non_positive_rise(self):
+        with pytest.raises(ValueError, match="rise"):
+            step(0, 1, 0, t_rise=0.0)
+
+
+class TestPulse:
+    def test_shape(self):
+        w = pulse(0.0, 1.0, t_start=1e-9, width=2e-9, t_rise=1e-12, t_fall=1e-12)
+        assert w(0.5e-9) == pytest.approx(0.0)
+        assert w(2e-9) == pytest.approx(1.0)
+        assert w(5e-9) == pytest.approx(0.0)
+
+    def test_nonzero_low_level(self):
+        w = pulse(0.3, 1.0, t_start=0.0, width=1e-9, t_rise=1e-12, t_fall=1e-12)
+        assert w(2e-9) == pytest.approx(0.3)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            pulse(0, 1, 0, width=0.0)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        w = piecewise_linear([(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)])
+        assert w(0.5) == pytest.approx(1.0)
+        assert w(1.5) == pytest.approx(1.0)
+
+    def test_holds_endpoints(self):
+        w = piecewise_linear([(1.0, 0.5), (2.0, 1.5)])
+        assert w(0.0) == 0.5
+        assert w(3.0) == 1.5
+
+    def test_exact_points(self):
+        w = piecewise_linear([(0.0, 0.1), (1.0, 0.9)])
+        assert w(0.0) == pytest.approx(0.1)
+        assert w(1.0) == pytest.approx(0.9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            piecewise_linear([])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            piecewise_linear([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_single_point_is_constant(self):
+        w = piecewise_linear([(1.0, 0.7)])
+        assert w(0.0) == 0.7
+        assert w(2.0) == 0.7

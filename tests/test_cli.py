@@ -1,0 +1,86 @@
+"""Tests for the vrl-dram command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.duration == 1.0
+        assert args.nbits == 2
+        assert args.seed == 2018
+        assert args.spice is True
+
+    def test_no_spice_flag(self):
+        args = build_parser().parse_args(["table1", "--no-spice"])
+        assert args.spice is False
+
+    def test_benchmark_list(self):
+        args = build_parser().parse_args(["fig4", "--benchmarks", "canneal", "bgsave"])
+        assert args.benchmarks == ["canneal", "bgsave"]
+
+    def test_all_is_valid(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+
+class TestMain:
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "TAB2" in out
+        assert "nbits" in out
+
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG3" in out
+        assert "64 ms bin" in out
+
+    def test_sec31_runs(self, capsys):
+        assert main(["sec31"]) == 0
+        out = capsys.readouterr().out
+        assert "tau_partial" in out
+
+    def test_fig4_small_run(self, capsys):
+        code = main(["fig4", "--duration", "0.4", "--benchmarks", "swaptions"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "swaptions" in out
+        assert "VRL reduction vs RAIDR" in out
+
+
+class TestExtensionWiring:
+    """Every extension CLI entry parses and (for the cheap ones) runs."""
+
+    def test_all_extension_names_registered(self):
+        parser = build_parser()
+        for name in (
+            "validate",
+            "rank",
+            "temperature",
+            "performance",
+            "ablation-nbits",
+            "ablation-guard",
+            "ablation-bins",
+            "ablation-geometry",
+            "sensitivity",
+        ):
+            assert parser.parse_args([name]).experiment == name
+
+    def test_temperature_runs(self, capsys):
+        assert main(["temperature"]) == 0
+        assert "TEMP" in capsys.readouterr().out
+
+    def test_bins_runs(self, capsys):
+        assert main(["ablation-bins"]) == 0
+        assert "ABL-BINS" in capsys.readouterr().out

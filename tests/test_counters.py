@@ -1,0 +1,88 @@
+"""Unit tests for the saturating counters."""
+
+import numpy as np
+import pytest
+
+from repro.controller import CounterFile, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_max_value(self):
+        assert SaturatingCounter(2).max_value == 3
+        assert SaturatingCounter(4).max_value == 15
+
+    def test_increments(self):
+        c = SaturatingCounter(2)
+        assert c.increment() == 1
+        assert c.increment() == 2
+
+    def test_saturates(self):
+        c = SaturatingCounter(2, value=3)
+        assert c.increment() == 3
+
+    def test_load_saturates(self):
+        c = SaturatingCounter(2, value=100)
+        assert c.value == 3
+
+    def test_reset(self):
+        c = SaturatingCounter(3, value=5)
+        c.reset()
+        assert c.value == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="nbits"):
+            SaturatingCounter(0)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError, match="negative"):
+            SaturatingCounter(2, value=-1)
+
+
+class TestCounterFile:
+    def test_initial_zero(self):
+        cf = CounterFile(4, 2)
+        assert cf.values.tolist() == [0, 0, 0, 0]
+
+    def test_scalar_initial(self):
+        cf = CounterFile(3, 2, initial=2)
+        assert cf.values.tolist() == [2, 2, 2]
+
+    def test_array_initial_saturates(self):
+        cf = CounterFile(3, 2, initial=np.array([0, 5, 2]))
+        assert cf.values.tolist() == [0, 3, 2]
+
+    def test_increment_saturates(self):
+        cf = CounterFile(2, 1)
+        cf.increment(0)
+        assert cf.increment(0) == 1  # saturated at 2^1 - 1
+
+    def test_reset_single_row(self):
+        cf = CounterFile(3, 2, initial=3)
+        cf.reset(1)
+        assert cf.values.tolist() == [3, 0, 3]
+
+    def test_reset_all(self):
+        cf = CounterFile(3, 2, initial=3)
+        cf.reset_all()
+        assert cf.values.tolist() == [0, 0, 0]
+
+    def test_values_read_only(self):
+        cf = CounterFile(2, 2)
+        with pytest.raises(ValueError):
+            cf.values[0] = 1
+
+    def test_load_shape_check(self):
+        cf = CounterFile(3, 2)
+        with pytest.raises(ValueError, match="shape"):
+            cf.load(np.zeros(4))
+
+    def test_load_rejects_negative(self):
+        cf = CounterFile(2, 2)
+        with pytest.raises(ValueError, match="negative"):
+            cf.load(np.array([-1, 0]))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError, match="row"):
+            CounterFile(0, 2)
+        with pytest.raises(ValueError, match="nbits"):
+            CounterFile(2, 0)

@@ -1,0 +1,60 @@
+"""Unit tests for the Sec. 3.1 data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.retention import DataPattern, worst_pattern
+
+
+class TestBits:
+    def test_all_zeros(self):
+        assert DataPattern.ALL_ZEROS.bits(5).tolist() == [0, 0, 0, 0, 0]
+
+    def test_all_ones(self):
+        assert DataPattern.ALL_ONES.bits(4).tolist() == [1, 1, 1, 1]
+
+    def test_alternating(self):
+        assert DataPattern.ALTERNATING.bits(6).tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            DataPattern.RANDOM.bits(8)
+
+    def test_random_binary(self):
+        bits = DataPattern.RANDOM.bits(1000, np.random.default_rng(1))
+        assert set(np.unique(bits)) <= {0, 1}
+        assert 300 < bits.sum() < 700
+
+    def test_random_deterministic_per_rng(self):
+        a = DataPattern.RANDOM.bits(64, np.random.default_rng(9))
+        b = DataPattern.RANDOM.bits(64, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("pattern", list(DataPattern))
+    def test_rejects_non_positive_length(self, pattern):
+        with pytest.raises(ValueError, match="positive"):
+            pattern.bits(0, np.random.default_rng(0))
+
+
+class TestDerating:
+    def test_all_in_unit_interval(self):
+        for pattern in DataPattern:
+            assert 0 < pattern.retention_derating <= 1
+
+    def test_uniform_patterns_undeterated(self):
+        assert DataPattern.ALL_ZEROS.retention_derating == 1.0
+        assert DataPattern.ALL_ONES.retention_derating == 1.0
+
+    def test_alternating_is_worst(self):
+        assert worst_pattern() is DataPattern.ALTERNATING
+
+    def test_random_between_uniform_and_alternating(self):
+        alt = DataPattern.ALTERNATING.retention_derating
+        rnd = DataPattern.RANDOM.retention_derating
+        assert alt < rnd < 1.0
+
+
+class TestSemantics:
+    def test_four_patterns(self):
+        """The paper evaluates exactly four data patterns."""
+        assert len(DataPattern) == 4

@@ -1,0 +1,157 @@
+"""Tests for the cycle-level engine and its fastpath equivalence.
+
+The fastpath evaluator must produce *identical* refresh statistics to
+the cycle-level engine for every policy — this is the correctness
+anchor that lets Fig. 4 run on the fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller import build_policy
+from repro.retention import RefreshBinning, RetentionProfiler
+from repro.sim import (
+    BankSimulator,
+    DRAMTiming,
+    MemoryTrace,
+    RefreshOverheadEvaluator,
+)
+from repro.technology import BankGeometry, DEFAULT_TECH
+from repro.units import MS
+
+TECH = DEFAULT_TECH
+TIMING = DRAMTiming.from_technology(TECH)
+GEO = BankGeometry(64, 8)
+
+
+@pytest.fixture(scope="module")
+def profile_binning():
+    profile = RetentionProfiler(seed=11).profile(GEO)
+    binning = RefreshBinning().assign(profile)
+    return profile, binning
+
+
+def _random_trace(n_requests, duration_cycles, n_rows, seed, hot_fraction=0.3):
+    rng = np.random.default_rng(seed)
+    cycles = np.sort(rng.integers(0, duration_cycles, size=n_requests))
+    hot_rows = max(1, int(n_rows * hot_fraction))
+    rows = rng.integers(0, hot_rows, size=n_requests)
+    is_write = rng.random(n_requests) < 0.4
+    return MemoryTrace(cycles.astype(np.int64), rows.astype(np.int64), is_write, name="rand")
+
+
+class TestEngineRefreshOnly:
+    def test_fixed_policy_refresh_count(self, profile_binning):
+        """Every row refreshed once per 64 ms period."""
+        profile, binning = profile_binning
+        policy = build_policy("fixed", TECH, profile, binning)
+        duration = TIMING.cycles(64 * MS)
+        sim = BankSimulator(policy, TIMING, GEO)
+        result = sim.run(duration_cycles=duration)
+        assert result.refresh.total_refreshes == GEO.rows
+        assert result.refresh.full_refreshes == GEO.rows
+        assert result.refresh.partial_refreshes == 0
+
+    def test_raidr_fewer_refreshes_than_fixed(self, profile_binning):
+        profile, binning = profile_binning
+        duration = TIMING.cycles(512 * MS)
+        counts = {}
+        for name in ("fixed", "raidr"):
+            policy = build_policy(name, TECH, profile, binning)
+            result = BankSimulator(policy, TIMING, GEO).run(duration_cycles=duration)
+            counts[name] = result.refresh.total_refreshes
+        assert counts["raidr"] < counts["fixed"]
+
+    def test_overhead_matches_closed_form(self, profile_binning):
+        """Refresh-only fixed policy: overhead = rows * tau / (period * f)."""
+        profile, binning = profile_binning
+        policy = build_policy("fixed", TECH, profile, binning)
+        duration = TIMING.cycles(256 * MS)
+        result = BankSimulator(policy, TIMING, GEO).run(duration_cycles=duration)
+        # 4 periods of 64 ms, each refreshing every row at tau_full.
+        expected = (GEO.rows * policy.tau_full * 4) / duration
+        assert result.refresh.overhead == pytest.approx(expected, rel=0.05)
+
+    def test_requires_duration_or_trace(self, profile_binning):
+        profile, binning = profile_binning
+        policy = build_policy("fixed", TECH, profile, binning)
+        with pytest.raises(ValueError, match="duration"):
+            BankSimulator(policy, TIMING, GEO).run()
+
+    def test_vrl_mixes_partial_and_full(self, profile_binning):
+        profile, binning = profile_binning
+        policy = build_policy("vrl", TECH, profile, binning)
+        duration = TIMING.cycles(2048 * MS)
+        result = BankSimulator(policy, TIMING, GEO).run(duration_cycles=duration)
+        assert result.refresh.partial_refreshes > 0
+        assert result.refresh.full_refreshes > 0
+        assert 0 < result.refresh.partial_fraction < 1
+
+
+class TestEngineWithTrace:
+    def test_requests_serviced(self, profile_binning):
+        profile, binning = profile_binning
+        policy = build_policy("raidr", TECH, profile, binning)
+        duration = TIMING.cycles(16 * MS)
+        trace = _random_trace(500, duration, GEO.rows, seed=3)
+        result = BankSimulator(policy, TIMING, GEO).run(trace=trace, duration_cycles=duration)
+        assert result.requests.n_requests == 500
+        assert result.requests.n_reads + result.requests.n_writes == 500
+        assert result.requests.mean_latency_cycles >= TIMING.row_hit_latency
+
+    def test_row_hits_occur_with_locality(self, profile_binning):
+        profile, binning = profile_binning
+        policy = build_policy("raidr", TECH, profile, binning)
+        duration = TIMING.cycles(16 * MS)
+        trace = _random_trace(2000, duration, GEO.rows, seed=4, hot_fraction=0.05)
+        result = BankSimulator(policy, TIMING, GEO).run(trace=trace, duration_cycles=duration)
+        assert result.requests.row_hit_rate > 0.1
+
+    def test_vrl_access_reduces_refresh_cycles_vs_vrl(self, profile_binning):
+        profile, binning = profile_binning
+        duration = TIMING.cycles(2048 * MS)
+        trace = _random_trace(4000, duration, GEO.rows, seed=5, hot_fraction=1.0)
+        cycles = {}
+        for name in ("vrl", "vrl-access"):
+            policy = build_policy(name, TECH, profile, binning)
+            result = BankSimulator(policy, TIMING, GEO).run(
+                trace=trace, duration_cycles=duration
+            )
+            cycles[name] = result.refresh.refresh_cycles
+        assert cycles["vrl-access"] < cycles["vrl"]
+
+
+class TestFastpathEquivalence:
+    """The load-bearing test: fastpath == engine, refresh-wise."""
+
+    @pytest.mark.parametrize("policy_name", ["fixed", "raidr", "vrl", "vrl-access"])
+    def test_refresh_only(self, profile_binning, policy_name):
+        profile, binning = profile_binning
+        duration = TIMING.cycles(700 * MS)
+        policy = build_policy(policy_name, TECH, profile, binning)
+        engine = BankSimulator(policy, TIMING, GEO).run(duration_cycles=duration)
+        fast = RefreshOverheadEvaluator(policy, TIMING).evaluate(duration)
+        assert fast.full_refreshes == engine.refresh.full_refreshes
+        assert fast.partial_refreshes == engine.refresh.partial_refreshes
+        assert fast.refresh_cycles == engine.refresh.refresh_cycles
+
+    @pytest.mark.parametrize("policy_name", ["vrl", "vrl-access"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_with_traces(self, profile_binning, policy_name, seed):
+        profile, binning = profile_binning
+        duration = TIMING.cycles(900 * MS)
+        trace = _random_trace(3000, duration, GEO.rows, seed=seed, hot_fraction=0.8)
+        policy = build_policy(policy_name, TECH, profile, binning)
+        engine = BankSimulator(policy, TIMING, GEO).run(
+            trace=trace, duration_cycles=duration
+        )
+        fast = RefreshOverheadEvaluator(policy, TIMING).evaluate(duration, trace)
+        assert fast.full_refreshes == engine.refresh.full_refreshes
+        assert fast.partial_refreshes == engine.refresh.partial_refreshes
+        assert fast.refresh_cycles == engine.refresh.refresh_cycles
+
+    def test_fastpath_validation(self, profile_binning):
+        profile, binning = profile_binning
+        policy = build_policy("vrl", TECH, profile, binning)
+        with pytest.raises(ValueError, match="duration"):
+            RefreshOverheadEvaluator(policy, TIMING).evaluate(0)

@@ -1,0 +1,89 @@
+"""Tests for the FGR policy and the baseline-comparison study."""
+
+import pytest
+
+from repro.controller import FGRPolicy, RefreshKind
+from repro.experiments import run_baseline_comparison
+from repro.technology import BankGeometry
+from repro.units import MS
+
+
+class TestFGRPolicy:
+    def test_mode_1_is_conventional(self):
+        policy = FGRPolicy(64, tau_full=19, mode=1)
+        assert policy.tau_op == 19
+        assert policy.row_period(0) == 64 * MS
+        assert policy.name == "fgr-1x"
+
+    def test_mode_2_halves_period_shrinks_op(self):
+        policy = FGRPolicy(64, tau_full=19, mode=2)
+        assert policy.row_period(0) == pytest.approx(32 * MS)
+        assert policy.tau_op == 12  # ceil(19 * 0.62)
+
+    def test_mode_4(self):
+        policy = FGRPolicy(64, tau_full=19, mode=4)
+        assert policy.row_period(0) == pytest.approx(16 * MS)
+        assert policy.tau_op == 8  # ceil(19 * 0.62^2)
+
+    def test_total_refresh_time_grows_with_granularity(self):
+        """The JEDEC reality: slicing is sub-linear, so finer costs more."""
+        costs = {
+            mode: FGRPolicy(64, 19, mode=mode).tau_op * mode
+            for mode in (1, 2, 4)
+        }
+        assert costs[1] < costs[2] < costs[4]
+
+    def test_blocking_window_shrinks_with_granularity(self):
+        ops = {mode: FGRPolicy(64, 19, mode=mode).tau_op for mode in (1, 2, 4)}
+        assert ops[1] > ops[2] > ops[4]
+
+    def test_all_refreshes_full(self):
+        policy = FGRPolicy(8, tau_full=19, mode=2)
+        command = policy.refresh_row(3)
+        assert command.kind is RefreshKind.FULL
+        assert command.latency_cycles == policy.tau_op
+
+    def test_ideal_linear_shrink(self):
+        policy = FGRPolicy(64, tau_full=20, mode=4, shrink=0.5)
+        assert policy.tau_op == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            FGRPolicy(64, 19, mode=3)
+        with pytest.raises(ValueError, match="shrink"):
+            FGRPolicy(64, 19, mode=2, shrink=0.3)
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_baseline_comparison(
+            geometry=BankGeometry(512, 16),
+            duration_seconds=0.5,
+            benchmark="swaptions",
+        )
+
+    def test_six_mechanisms(self, result):
+        assert [row[0] for row in result.rows] == [
+            "fixed-64ms", "fgr-2x", "fgr-4x", "raidr", "vrl", "vrl-access",
+        ]
+
+    def test_fgr_costs_more_total(self, result):
+        cycles = {row[0]: row[1] for row in result.rows}
+        assert cycles["fgr-2x"] > cycles["fixed-64ms"]
+        assert cycles["fgr-4x"] > cycles["fgr-2x"]
+
+    def test_fgr_shortens_blocking_window(self, result):
+        windows = {row[0]: row[3] for row in result.rows}
+        assert windows["fgr-4x"] < windows["fgr-2x"] < windows["fixed-64ms"]
+
+    def test_vrl_family_cheapest(self, result):
+        cycles = {row[0]: row[1] for row in result.rows}
+        assert cycles["vrl"] < cycles["raidr"] < cycles["fixed-64ms"]
+        assert cycles["vrl-access"] <= cycles["vrl"]
+
+    def test_refresh_only_mode(self):
+        result = run_baseline_comparison(
+            geometry=BankGeometry(256, 8), duration_seconds=0.3, benchmark=None
+        )
+        assert "refresh-only" in result.title

@@ -1,0 +1,162 @@
+"""End-to-end integration tests across the full stack.
+
+The crown-jewel property: under the VRL refresh schedules that the
+controller actually issues, no cell's charge ever falls below the
+sensing-failure threshold — partial refreshes are only used where the
+MPRSF analysis proved them safe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller import RefreshKind, build_policy
+from repro.model import LeakageModel, RefreshLatencyModel
+from repro.retention import RefreshBinning, RetentionProfiler
+from repro.sim import BankSimulator, DRAMTiming
+from repro.technology import BankGeometry, DEFAULT_TECH
+from repro.units import MS
+
+TECH = DEFAULT_TECH
+TIMING = DRAMTiming.from_technology(TECH)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    geometry = BankGeometry(512, 16)
+    profile = RetentionProfiler(seed=99).profile(geometry)
+    binning = RefreshBinning().assign(profile)
+    return geometry, profile, binning
+
+
+class TestDataIntegrity:
+    @pytest.mark.parametrize("policy_name", ["vrl", "vrl-access"])
+    def test_no_cell_ever_fails_under_vrl_schedule(self, stack, policy_name):
+        """Replay each row's issued refresh sequence against the leakage
+        model (worst-case data pattern, true retention) and check the
+        charge never crosses the failure threshold."""
+        geometry, profile, binning = stack
+        policy = build_policy(policy_name, TECH, profile, binning)
+        model = RefreshLatencyModel(TECH, geometry)
+        leakage = LeakageModel(TECH)
+        n_periods = 24
+
+        # Profiled retention is worst-case-pattern retention (REAPER
+        # profiles at aggressive conditions), so the replay uses it
+        # directly; the MPRSF guard/derating sit on top as margin.
+        violations = []
+        for row in range(geometry.rows):
+            period = policy.row_period(row)
+            retention = float(profile.row_retention[row])
+            fraction = 1.0
+            for _ in range(n_periods):
+                fraction = leakage.fraction_after(fraction, period, retention)
+                if fraction < TECH.fail_fraction:
+                    violations.append((row, retention, period, fraction))
+                    break
+                command = policy.refresh_row(row)
+                timing = (
+                    model.full_refresh()
+                    if command.kind is RefreshKind.FULL
+                    else model.partial_refresh()
+                )
+                fraction = model.restored_fraction(fraction, timing)
+        assert violations == []
+
+    def test_guard_band_provides_real_margin(self, stack):
+        """With the guard band the schedule survives even cells whose
+        true retention is somewhat below their profiled value."""
+        geometry, profile, binning = stack
+        policy = build_policy("vrl", TECH, profile, binning)
+        model = RefreshLatencyModel(TECH, geometry)
+        leakage = LeakageModel(TECH)
+        degradation = 0.80  # cells retain 20% less than profiled (VRT)
+
+        # Scope to rows where VRL actually schedules partial refreshes:
+        # the guard protects the partial-refresh decisions; rows with
+        # MPRSF = 0 run pure RAIDR and inherit its (guardless) exposure.
+        for row in range(geometry.rows):
+            if policy.mprsf.get(row) == 0:
+                continue
+            period = policy.row_period(row)
+            retention = float(profile.row_retention[row]) * degradation
+            fraction = 1.0
+            for _ in range(16):
+                fraction = leakage.fraction_after(fraction, period, retention)
+                assert fraction >= TECH.fail_fraction, (row, retention)
+                command = policy.refresh_row(row)
+                timing = (
+                    model.full_refresh()
+                    if command.kind is RefreshKind.FULL
+                    else model.partial_refresh()
+                )
+                fraction = model.restored_fraction(fraction, timing)
+
+
+class TestFullPipeline:
+    def test_policy_ordering_under_simulation(self, stack):
+        """fixed >= raidr >= vrl >= vrl-access in refresh cycles."""
+        geometry, profile, binning = stack
+        duration = TIMING.cycles(1024 * MS)
+        rng = np.random.default_rng(0)
+        n_requests = 2000
+        from repro.sim import MemoryTrace
+
+        trace = MemoryTrace(
+            cycles=np.sort(rng.integers(0, duration, n_requests)).astype(np.int64),
+            rows=rng.integers(0, geometry.rows, n_requests).astype(np.int64),
+            is_write=rng.random(n_requests) < 0.3,
+            name="uniform",
+        )
+        cycles = {}
+        for name in ("fixed", "raidr", "vrl", "vrl-access"):
+            policy = build_policy(name, TECH, profile, binning)
+            result = BankSimulator(policy, TIMING, geometry).run(
+                trace=trace, duration_cycles=duration
+            )
+            cycles[name] = result.refresh.refresh_cycles
+        assert cycles["fixed"] >= cycles["raidr"] >= cycles["vrl"] >= cycles["vrl-access"]
+        assert cycles["vrl"] < cycles["raidr"]  # strict win somewhere
+
+    def test_refresh_stalls_demand_requests(self, stack):
+        """Policies that refresh less also stall demand requests less.
+
+        Mean latency is not a clean comparator here (closing a row via
+        refresh can convert an expensive row-buffer *conflict* into a
+        cheaper *miss*), so the assertion targets the refresh-attributed
+        stall cycles directly.
+        """
+        geometry, profile, binning = stack
+        duration = TIMING.cycles(128 * MS)
+        rng = np.random.default_rng(1)
+        n_requests = 3000
+        from repro.sim import MemoryTrace
+
+        trace = MemoryTrace(
+            cycles=np.sort(rng.integers(0, duration, n_requests)).astype(np.int64),
+            rows=rng.integers(0, geometry.rows, n_requests).astype(np.int64),
+            is_write=np.zeros(n_requests, dtype=bool),
+            name="reads",
+        )
+        policy = build_policy("fixed", TECH, profile, binning)
+        with_refresh = BankSimulator(policy, TIMING, geometry).run(
+            trace=trace, duration_cycles=duration
+        )
+        relaxed = build_policy("vrl-access", TECH, profile, binning)
+        with_vrl = BankSimulator(relaxed, TIMING, geometry).run(
+            trace=trace, duration_cycles=duration
+        )
+        assert with_refresh.requests.refresh_stall_cycles > 0
+        assert (
+            with_vrl.requests.refresh_stall_cycles
+            < with_refresh.requests.refresh_stall_cycles
+        )
+
+    def test_simulation_result_metadata(self, stack):
+        geometry, profile, binning = stack
+        policy = build_policy("raidr", TECH, profile, binning)
+        result = BankSimulator(policy, TIMING, geometry).run(
+            duration_cycles=TIMING.cycles(64 * MS)
+        )
+        assert result.policy_name == "raidr"
+        assert result.trace_name == "idle"
+        assert result.refresh_overhead == result.refresh.overhead

@@ -1,0 +1,50 @@
+"""Tests for the performance-impact study."""
+
+import pytest
+
+from repro.experiments import run_performance_study
+from repro.technology import BankGeometry
+
+
+class TestPerformanceStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_performance_study(
+            geometry=BankGeometry(512, 16),
+            duration_seconds=0.15,
+            benchmarks=["swaptions", "bgsave"],
+        )
+
+    def test_rows_per_benchmark_policy(self, result):
+        assert len(result.rows) == 2 * 4
+        benchmarks = {row[0] for row in result.rows}
+        assert benchmarks == {"swaptions", "bgsave"}
+
+    def test_stalls_decrease_along_policy_progression(self, result):
+        """Aggregate refresh stalls shrink as policies refresh less.
+
+        Per-benchmark stall counts on a small test bank are noisy (which
+        requests happen to collide with a refresh is timing luck), so
+        the ordering is asserted on the totals across benchmarks.
+        """
+        totals = {}
+        for name in ("fixed", "raidr", "vrl", "vrl-access"):
+            totals[name] = sum(row[4] for row in result.rows if row[1] == name)
+        assert totals["vrl"] <= totals["raidr"] <= totals["fixed"]
+        assert totals["vrl-access"] <= totals["raidr"]
+
+    def test_refresh_overhead_ordering(self, result):
+        for bench in ("swaptions", "bgsave"):
+            overheads = [
+                float(row[6].rstrip("%")) for row in result.rows if row[0] == bench
+            ]
+            fixed, raidr, vrl, vrl_access = overheads
+            assert vrl_access <= vrl < raidr < fixed
+
+    def test_fixed_normalized_to_one(self, result):
+        for row in result.rows:
+            if row[1] == "fixed":
+                assert float(row[3]) == pytest.approx(1.0)
+
+    def test_caveat_documented(self, result):
+        assert "mean-latency caveat" in result.notes

@@ -1,0 +1,125 @@
+"""Unit tests for the post-sensing model (Eq. 9-12)."""
+
+import math
+
+import pytest
+
+from repro.model import PostSensingModel
+from repro.technology import BankGeometry, DEFAULT_GEOMETRY, DEFAULT_TECH
+
+TECH = DEFAULT_TECH
+
+
+@pytest.fixture
+def model():
+    return PostSensingModel(TECH, DEFAULT_GEOMETRY)
+
+
+class TestPhases:
+    def test_t1_matches_eq9(self, model):
+        assert model.t1 == pytest.approx(model.cbl * TECH.vtp / model.idsat_tail)
+
+    def test_t2_decreases_with_larger_differential(self, model):
+        assert model.t2(0.15) < model.t2(0.05)
+
+    def test_t2_zero_for_huge_differential(self, model):
+        assert model.t2(10.0) == 0.0
+
+    def test_t2_rejects_non_positive(self, model):
+        with pytest.raises(ValueError, match="positive"):
+            model.t2(0.0)
+
+    def test_t3_matches_eq11(self, model):
+        expected = model.r_post * model.cbl * math.log(TECH.veq / TECH.v_residue)
+        assert model.t3 == pytest.approx(expected)
+
+    def test_r_post_composition(self, model):
+        assert model.r_post == pytest.approx(model.rbl + TECH.ron_sense)
+
+    def test_t_sense_is_sum(self, model):
+        dv = TECH.sense_margin
+        assert model.t_sense(dv) == pytest.approx(model.t1 + model.t2(dv) + model.t3)
+
+    def test_all_phases_positive(self, model):
+        assert model.t1 > 0
+        assert model.t2(TECH.sense_margin) > 0
+        assert model.t3 > 0
+
+
+class TestRestoreVoltage:
+    def test_no_restore_before_sensing_done(self, model):
+        dv = TECH.sense_margin
+        v = model.restore_voltage(0.7, model.t_sense(dv) * 0.5, dv)
+        assert v == 0.7
+
+    def test_asymptotic_full_restore(self, model):
+        v = model.restore_voltage(0.7, 1e-6, TECH.sense_margin)
+        assert v == pytest.approx(TECH.vdd, abs=1e-6)
+
+    def test_monotone_in_time(self, model):
+        dv = TECH.sense_margin
+        times = [model.t_sense(dv) + k * 1e-9 for k in range(6)]
+        voltages = [model.restore_voltage(0.7, t, dv) for t in times]
+        assert voltages == sorted(voltages)
+
+    def test_one_tau_of_drive(self, model):
+        dv = TECH.sense_margin
+        t = model.t_sense(dv) + model.tau_restore
+        v = model.restore_voltage(0.7, t, dv)
+        expected = TECH.vdd - (TECH.vdd - 0.7) / math.e
+        assert v == pytest.approx(expected, rel=1e-9)
+
+
+class TestTimeToFraction:
+    def test_inverse_of_restore(self, model):
+        """restore_voltage(time_to_fraction(f)) == f * Vdd."""
+        dv = TECH.sense_margin
+        for fraction in (0.8, 0.9, 0.95, 0.999):
+            t = model.time_to_fraction(fraction, TECH.v_fail, dv)
+            v = model.restore_voltage(TECH.v_fail, t, dv)
+            assert v == pytest.approx(fraction * TECH.vdd, rel=1e-9)
+
+    def test_monotone_in_fraction(self, model):
+        dv = TECH.sense_margin
+        t95 = model.time_to_fraction(0.95, TECH.v_fail, dv)
+        t99 = model.time_to_fraction(0.99, TECH.v_fail, dv)
+        assert t99 > t95
+
+    def test_already_satisfied_returns_sensing_time(self, model):
+        dv = TECH.sense_margin
+        t = model.time_to_fraction(0.8, 0.99 * TECH.vdd, dv)
+        assert t == pytest.approx(model.t_sense(dv))
+
+    def test_rejects_bad_fraction(self, model):
+        with pytest.raises(ValueError, match="fraction"):
+            model.time_to_fraction(1.0, 0.7, 0.1)
+        with pytest.raises(ValueError, match="fraction"):
+            model.time_to_fraction(0.0, 0.7, 0.1)
+
+    def test_last_5_percent_dominates(self, model):
+        """Observation 1: the final 5% of charge costs ~40% of the restore."""
+        dv = TECH.sense_margin
+        t95 = model.time_to_fraction(0.95, TECH.v_fail, dv)
+        t_full = model.time_to_fraction(TECH.full_restore_fraction, TECH.v_fail, dv)
+        assert (t_full - t95) / t_full > 0.3
+
+
+class TestGeometryScaling:
+    def test_tau_restore_grows_with_rows(self):
+        small = PostSensingModel(TECH, BankGeometry(2048, 32))
+        large = PostSensingModel(TECH, BankGeometry(16384, 32))
+        assert large.tau_restore > small.tau_restore
+
+    def test_delay_cycles_quantization(self, model):
+        cycles = model.delay_cycles(TECH.tck_ctrl, 0.95, TECH.v_fail, TECH.sense_margin)
+        t = model.time_to_fraction(0.95, TECH.v_fail, TECH.sense_margin)
+        assert (cycles - 1) * TECH.tck_ctrl < t <= cycles * TECH.tck_ctrl
+
+    def test_paper_section31_values(self, model):
+        """tau_post = 4 cycles partial, 12 cycles full (Sec. 3.1)."""
+        partial = model.delay_cycles(TECH.tck_ctrl, 0.95, TECH.v_fail, TECH.sense_margin)
+        full = model.delay_cycles(
+            TECH.tck_ctrl, TECH.full_restore_fraction, TECH.v_fail, TECH.sense_margin
+        )
+        assert partial == 4
+        assert full == 12

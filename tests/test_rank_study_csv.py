@@ -1,0 +1,56 @@
+"""Tests for the rank study driver and CSV export."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, run_rank_comparison
+from repro.technology import BankGeometry
+
+
+class TestRankStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_rank_comparison(
+            geometry=BankGeometry(128, 8), n_banks=2, duration_seconds=0.2
+        )
+
+    def test_all_modes_present(self, result):
+        assert [row[0] for row in result.rows] == [
+            "all-bank", "fixed", "raidr", "vrl", "vrl-access",
+        ]
+
+    def test_raidr_beats_fixed_beats_nothing(self, result):
+        cycles = {row[0]: row[1] for row in result.rows}
+        assert cycles["raidr"] < cycles["fixed"]
+        assert cycles["vrl"] < cycles["raidr"]
+        assert cycles["vrl-access"] <= cycles["vrl"]
+
+    def test_normalization_column(self, result):
+        assert float(result.rows[0][2]) == pytest.approx(1.0)
+
+    def test_blocked_time_not_above_sum(self, result):
+        for row in result.rows:
+            blocked = float(row[4].rstrip("%"))
+            assert 0 <= blocked <= 100
+
+
+class TestCsvExport:
+    def test_roundtrip_structure(self, tmp_path):
+        result = ExperimentResult(
+            "X", "demo", ["a", "b"], [(1, "two"), (3.5, "four")], {"note": "value"}
+        )
+        path = tmp_path / "x.csv"
+        result.to_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# X: demo"
+        assert "# note: value" in lines
+        assert "a,b" in lines
+        assert "1,two" in lines
+        assert "3.5,four" in lines
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table2", "--csv", str(tmp_path)]) == 0
+        csv_file = tmp_path / "table2.csv"
+        assert csv_file.exists()
+        assert "nbits" in csv_file.read_text()

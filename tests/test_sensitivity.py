@@ -1,0 +1,92 @@
+"""Tests for the technology-parameter sensitivity analysis."""
+
+import pytest
+
+from repro.model import SensitivityAnalyzer
+from repro.model.sensitivity import DEFAULT_PARAMETERS
+from repro.technology import BankGeometry, DEFAULT_TECH
+
+TECH = DEFAULT_TECH
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SensitivityAnalyzer(TECH)
+
+
+class TestContinuousLatency:
+    def test_partial_shorter_than_full(self, analyzer):
+        t_partial = analyzer.continuous_latency(restore_fraction=0.95)
+        t_full = analyzer.continuous_latency(
+            restore_fraction=TECH.full_restore_fraction
+        )
+        assert t_partial < t_full
+
+    def test_consistent_with_quantized(self, analyzer):
+        """The continuous latency sits within the quantized window."""
+        from repro.model import RefreshLatencyModel
+
+        model = RefreshLatencyModel(TECH)
+        t = analyzer.continuous_latency(restore_fraction=0.95)
+        quantized = model.partial_refresh().total_seconds
+        # Each of the three modeled phases can round up by < 1 cycle.
+        assert t <= quantized
+        assert quantized - t < 3 * TECH.tck_ctrl
+
+
+class TestAnalyzeParameter:
+    def test_bitline_capacitance_dominates(self, analyzer):
+        result = analyzer.analyze_parameter("cbl_fixed")
+        assert result.elasticity_partial > 0.3
+        assert result.elasticity_full > 0.3
+
+    def test_ron_sense_matters_more_for_full(self, analyzer):
+        """Phase 4 drive dominates the full refresh, so its resistance
+        shows up more strongly in tau_full than tau_partial."""
+        result = analyzer.analyze_parameter("ron_sense")
+        assert result.elasticity_full > result.elasticity_partial > 0
+
+    def test_stronger_access_device_speeds_presensing(self, analyzer):
+        result = analyzer.analyze_parameter("wl_access")
+        assert result.elasticity_partial < 0  # more W/L -> faster
+
+    def test_sign_of_mobility(self, analyzer):
+        """Higher process transconductance -> faster everything."""
+        result = analyzer.analyze_parameter("mu_n_cox")
+        assert result.elasticity_partial < 0
+        assert result.elasticity_full < 0
+
+    def test_rejects_non_float_parameter(self, analyzer):
+        with pytest.raises(ValueError, match="positive float"):
+            analyzer.analyze_parameter("t_fixed_cycles")
+
+    def test_rejects_bad_step(self, analyzer):
+        with pytest.raises(ValueError, match="rel_step"):
+            analyzer.analyze_parameter("cs", rel_step=0.9)
+
+
+class TestAnalyze:
+    def test_sorted_by_influence(self, analyzer):
+        results = analyzer.analyze()
+        magnitudes = [
+            max(abs(r.elasticity_partial), abs(r.elasticity_full)) for r in results
+        ]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_covers_default_parameters(self, analyzer):
+        results = analyzer.analyze()
+        assert {r.parameter for r in results} == set(DEFAULT_PARAMETERS)
+
+    def test_geometry_changes_ranking_inputs(self):
+        """Row-scaling parameters matter more on big banks."""
+        small = SensitivityAnalyzer(TECH, BankGeometry(2048, 32))
+        large = SensitivityAnalyzer(TECH, BankGeometry(16384, 32))
+        e_small = small.analyze_parameter("rbl_per_row").elasticity_full
+        e_large = large.analyze_parameter("rbl_per_row").elasticity_full
+        assert e_large > e_small
+
+    def test_dominant_flag(self, analyzer):
+        result = analyzer.analyze_parameter("cbl_fixed")
+        assert result.dominant
+        weak = analyzer.analyze_parameter("cbw")
+        assert not weak.dominant

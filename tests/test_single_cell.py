@@ -1,0 +1,88 @@
+"""Unit tests for the Li et al. single-cell baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.model import PreSensingModel, SingleCellModel
+from repro.technology import TABLE1_GEOMETRIES, BankGeometry, DEFAULT_TECH
+
+TECH = DEFAULT_TECH
+
+
+@pytest.fixture
+def model():
+    return SingleCellModel(TECH)
+
+
+class TestGeometryBlindness:
+    def test_same_cycles_for_every_table1_geometry(self, model):
+        counts = {
+            model.presensing_cycles(TECH.tck_dev, g) for g in TABLE1_GEOMETRIES
+        }
+        assert len(counts) == 1
+
+    def test_paper_value_is_six(self, model):
+        assert model.presensing_cycles(TECH.tck_dev) == 6
+
+    def test_underestimates_large_banks(self, model):
+        """The Table 1 failure mode: constant estimate vs growing truth."""
+        big = BankGeometry(16384, 128)
+        full_model = PreSensingModel(TECH, big)
+        assert model.presensing_cycles(TECH.tck_dev) < full_model.delay_cycles(
+            TECH.tck_dev, criterion="settle"
+        )
+
+
+class TestEqualization:
+    def test_single_exponential(self, model):
+        """No phase-1 segment: residual scales exactly exponentially."""
+        r1 = model.equalization_voltage(model.tau_eq) - TECH.veq
+        r2 = model.equalization_voltage(2 * model.tau_eq) - TECH.veq
+        assert r2 / r1 == pytest.approx(np.exp(-1), rel=1e-9)
+
+    def test_initial_value(self, model):
+        assert model.equalization_voltage(0.0) == TECH.vdd
+
+    def test_complementary_start(self, model):
+        assert model.equalization_voltage(0.0, v_initial=TECH.vss) == TECH.vss
+
+    def test_converges(self, model):
+        assert model.equalization_voltage(1e-6) == pytest.approx(TECH.veq, abs=1e-9)
+
+    def test_waveform_matches_scalar(self, model):
+        ts = np.linspace(0, 2e-9, 7)
+        wf = model.equalization_waveform(ts)
+        for t, v in zip(ts, wf):
+            assert v == model.equalization_voltage(float(t))
+
+    def test_deviates_from_two_phase_early(self):
+        """Fig. 5: the single exponential is wrong near t = 0+."""
+        from repro.model import EqualizationModel
+        from repro.technology import DEFAULT_GEOMETRY
+
+        single = SingleCellModel(TECH)
+        two_phase = EqualizationModel(TECH, DEFAULT_GEOMETRY)
+        t = two_phase.t_phase1 / 2
+        assert single.equalization_voltage(t) != pytest.approx(
+            two_phase.voltage(t), abs=1e-3
+        )
+
+
+class TestPresensingDelay:
+    def test_u_starts_at_one(self, model):
+        assert model.u(0.0) == 1.0
+
+    def test_delay_solves_u(self, model):
+        t = model.presensing_delay(settle_fraction=0.95)
+        assert model.u(t) == pytest.approx(0.05, rel=1e-3)
+
+    def test_monotone_in_fraction(self, model):
+        assert model.presensing_delay(0.99) > model.presensing_delay(0.90)
+
+    def test_rejects_bad_fraction(self, model):
+        with pytest.raises(ValueError, match="settle_fraction"):
+            model.presensing_delay(1.5)
+
+    def test_uses_nominal_parasitics(self, model):
+        assert model.cbl == TECH.cbl_fixed
+        assert model.rbl == TECH.rbl_fixed

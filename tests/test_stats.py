@@ -1,0 +1,56 @@
+"""Unit tests for the simulation statistics containers."""
+
+import pytest
+
+from repro.sim import RefreshStats
+from repro.sim.stats import RequestStats
+
+
+class TestRefreshStats:
+    def test_totals(self):
+        s = RefreshStats(full_refreshes=3, partial_refreshes=7)
+        assert s.total_refreshes == 10
+        assert s.partial_fraction == pytest.approx(0.7)
+
+    def test_overhead(self):
+        s = RefreshStats(refresh_cycles=190, duration_cycles=1000)
+        assert s.overhead == pytest.approx(0.19)
+
+    def test_empty_safe(self):
+        s = RefreshStats()
+        assert s.partial_fraction == 0.0
+        assert s.overhead == 0.0
+
+    def test_merge(self):
+        a = RefreshStats(1, 2, 30, 100)
+        b = RefreshStats(3, 4, 70, 200)
+        m = a.merge(b)
+        assert m.full_refreshes == 4
+        assert m.partial_refreshes == 6
+        assert m.refresh_cycles == 100
+        assert m.duration_cycles == 300
+
+
+class TestRequestStats:
+    def test_record_accumulates(self):
+        s = RequestStats()
+        s.record(is_write=False, latency=10, hit=True, refresh_stall=0)
+        s.record(is_write=True, latency=30, hit=False, refresh_stall=5)
+        assert s.n_requests == 2
+        assert s.n_reads == 1
+        assert s.n_writes == 1
+        assert s.row_hits == 1
+        assert s.mean_latency_cycles == pytest.approx(20.0)
+        assert s.max_latency_cycles == 30
+        assert s.refresh_stall_cycles == 5
+
+    def test_empty_safe(self):
+        s = RequestStats()
+        assert s.mean_latency_cycles == 0.0
+        assert s.row_hit_rate == 0.0
+
+    def test_hit_rate(self):
+        s = RequestStats()
+        for hit in (True, True, False, False):
+            s.record(False, 10, hit, 0)
+        assert s.row_hit_rate == pytest.approx(0.5)

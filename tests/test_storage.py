@@ -1,0 +1,105 @@
+"""Tests for deployment-artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.controller import VRLAccessPolicy
+from repro.retention import (
+    DeploymentArtifact,
+    build_artifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.technology import BankGeometry, DEFAULT_TECH
+
+GEO = BankGeometry(128, 8)
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return build_artifact(DEFAULT_TECH, GEO, seed=77)
+
+
+class TestBuildArtifact:
+    def test_shapes(self, artifact):
+        assert artifact.profile.geometry == GEO
+        assert len(artifact.mprsf) == GEO.rows
+        assert len(artifact.binning.row_period) == GEO.rows
+
+    def test_mprsf_capped(self, artifact):
+        assert artifact.mprsf.max() <= (1 << artifact.nbits) - 1
+
+    def test_deterministic(self):
+        a = build_artifact(DEFAULT_TECH, GEO, seed=5)
+        b = build_artifact(DEFAULT_TECH, GEO, seed=5)
+        assert np.array_equal(a.mprsf, b.mprsf)
+        assert np.array_equal(a.profile.row_retention, b.profile.row_retention)
+
+
+class TestRoundtrip:
+    def test_all_fields_preserved(self, artifact, tmp_path):
+        path = tmp_path / "bank0.npz"
+        save_artifact(artifact, path)
+        loaded = load_artifact(path)
+        assert loaded.profile.geometry == GEO
+        assert np.array_equal(loaded.profile.row_retention, artifact.profile.row_retention)
+        assert loaded.binning.periods == artifact.binning.periods
+        assert np.array_equal(loaded.binning.row_period, artifact.binning.row_period)
+        assert np.array_equal(loaded.binning.row_bin, artifact.binning.row_bin)
+        assert np.array_equal(loaded.mprsf, artifact.mprsf)
+        assert loaded.nbits == artifact.nbits
+
+    def test_loaded_artifact_drives_a_policy(self, artifact, tmp_path):
+        """The boot flow: load the artifact, construct the policy."""
+        path = tmp_path / "bank0.npz"
+        save_artifact(artifact, path)
+        loaded = load_artifact(path)
+        policy = VRLAccessPolicy(
+            loaded.binning,
+            loaded.mprsf,
+            tau_full=19,
+            tau_partial=11,
+            nbits=loaded.nbits,
+        )
+        assert policy.n_rows == GEO.rows
+
+    def test_version_check(self, artifact, tmp_path):
+        path = tmp_path / "bank0.npz"
+        save_artifact(artifact, path)
+        # Corrupt the version field.
+        data = dict(np.load(path))
+        data["format_version"] = np.int64(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format"):
+            load_artifact(path)
+
+
+class TestValidation:
+    def test_rejects_mismatched_rows(self, artifact):
+        with pytest.raises(ValueError, match="same rows"):
+            DeploymentArtifact(
+                profile=artifact.profile,
+                binning=artifact.binning,
+                mprsf=artifact.mprsf[:10],
+                nbits=2,
+            )
+
+    def test_rejects_overwide_mprsf(self, artifact):
+        wide = artifact.mprsf.copy()
+        wide[0] = 9
+        with pytest.raises(ValueError, match="counter width"):
+            DeploymentArtifact(
+                profile=artifact.profile,
+                binning=artifact.binning,
+                mprsf=wide,
+                nbits=2,
+            )
+
+    def test_rejects_bad_nbits(self, artifact):
+        with pytest.raises(ValueError, match="nbits"):
+            DeploymentArtifact(
+                profile=artifact.profile,
+                binning=artifact.binning,
+                mprsf=np.zeros(GEO.rows, dtype=np.int64),
+                nbits=0,
+            )

@@ -1,0 +1,152 @@
+"""Unit tests for repro.technology."""
+
+import math
+
+import pytest
+
+from repro.technology import (
+    BankGeometry,
+    DEFAULT_GEOMETRY,
+    DEFAULT_TECH,
+    TABLE1_GEOMETRIES,
+    TechnologyParams,
+)
+
+
+class TestBankGeometry:
+    def test_default_is_paper_bank(self):
+        assert DEFAULT_GEOMETRY.rows == 8192
+        assert DEFAULT_GEOMETRY.cols == 32
+
+    def test_cells(self):
+        assert BankGeometry(4, 8).cells == 32
+
+    def test_str(self):
+        assert str(BankGeometry(2048, 128)) == "2048x128"
+
+    @pytest.mark.parametrize("rows,cols", [(0, 32), (8192, 0), (-1, 32), (8192, -5)])
+    def test_rejects_non_positive(self, rows, cols):
+        with pytest.raises(ValueError, match="positive"):
+            BankGeometry(rows, cols)
+
+    def test_table1_has_six_geometries(self):
+        assert len(TABLE1_GEOMETRIES) == 6
+        assert {g.rows for g in TABLE1_GEOMETRIES} == {2048, 8192, 16384}
+        assert {g.cols for g in TABLE1_GEOMETRIES} == {32, 128}
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_GEOMETRY.rows = 1
+
+
+class TestDerivedQuantities:
+    def test_veq_is_half_vdd(self):
+        assert DEFAULT_TECH.veq == pytest.approx(DEFAULT_TECH.vdd / 2)
+
+    def test_beta_scales_with_wl(self):
+        assert DEFAULT_TECH.beta_n(2.0) == pytest.approx(2 * DEFAULT_TECH.beta_n(1.0))
+
+    def test_pmos_weaker_than_nmos(self):
+        assert DEFAULT_TECH.beta_p(1.0) < DEFAULT_TECH.beta_n(1.0)
+
+    def test_ron_nmos_decreases_with_width(self):
+        t = DEFAULT_TECH
+        assert t.ron_nmos(2.0, 1.2) < t.ron_nmos(1.0, 1.2)
+
+    def test_ron_nmos_rejects_subthreshold(self):
+        with pytest.raises(ValueError, match="not conducting"):
+            DEFAULT_TECH.ron_nmos(1.0, DEFAULT_TECH.vtn)
+
+    def test_cbl_grows_with_rows(self):
+        t = DEFAULT_TECH
+        assert t.cbl(BankGeometry(16384, 32)) > t.cbl(BankGeometry(2048, 32))
+
+    def test_cbl_independent_of_cols(self):
+        t = DEFAULT_TECH
+        assert t.cbl(BankGeometry(8192, 32)) == t.cbl(BankGeometry(8192, 128))
+
+    def test_rbl_grows_with_rows(self):
+        t = DEFAULT_TECH
+        assert t.rbl(BankGeometry(16384, 32)) > t.rbl(BankGeometry(2048, 32))
+
+    def test_wordline_delay_grows_quadratically_with_cols(self):
+        t = DEFAULT_TECH
+        d32 = t.wordline_delay(BankGeometry(8192, 32))
+        d128 = t.wordline_delay(BankGeometry(8192, 128))
+        assert d128 == pytest.approx(16 * d32)
+
+    def test_coupling_coefficients_sum_below_one(self):
+        k1, k2 = DEFAULT_TECH.coupling_k1_k2(DEFAULT_GEOMETRY)
+        assert 0 < k1 < 1
+        assert 0 < k2 < k1
+        assert k1 + 2 * k2 < 1
+
+    def test_c_post_exceeds_cbl_plus_cs(self):
+        t = DEFAULT_TECH
+        assert t.c_post(DEFAULT_GEOMETRY) > t.cbl(DEFAULT_GEOMETRY) + t.cs
+
+    def test_v_fail(self):
+        assert DEFAULT_TECH.v_fail == pytest.approx(
+            DEFAULT_TECH.fail_fraction * DEFAULT_TECH.vdd
+        )
+
+
+class TestRetentionTau:
+    def test_definition_consistency(self):
+        """V(T) = fail_fraction * V_dd exactly at the retention time."""
+        t = DEFAULT_TECH
+        retention = 0.3
+        tau = t.retention_tau(retention)
+        assert math.exp(-retention / tau) == pytest.approx(t.fail_fraction)
+
+    def test_tau_monotone_in_retention(self):
+        t = DEFAULT_TECH
+        assert t.retention_tau(0.2) < t.retention_tau(0.4)
+
+    def test_rejects_non_positive_retention(self):
+        with pytest.raises(ValueError, match="positive"):
+            DEFAULT_TECH.retention_tau(0.0)
+
+
+class TestScaled:
+    def test_overrides_field(self):
+        scaled = DEFAULT_TECH.scaled(vdd=1.5)
+        assert scaled.vdd == 1.5
+        assert scaled.vtn == DEFAULT_TECH.vtn
+
+    def test_original_unchanged(self):
+        DEFAULT_TECH.scaled(cs=1e-15)
+        assert DEFAULT_TECH.cs != 1e-15
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TECH.vdd = 2.0
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            DEFAULT_TECH.scaled(not_a_field=1.0)
+
+
+class TestCalibratedDefaults:
+    """Guard the calibrated constants (DESIGN.md section 7)."""
+
+    def test_rails(self):
+        assert DEFAULT_TECH.vdd == 1.2
+        assert DEFAULT_TECH.vpp > DEFAULT_TECH.vdd
+
+    def test_partial_target_is_95_percent(self):
+        assert DEFAULT_TECH.partial_restore_fraction == pytest.approx(0.95)
+
+    def test_guard_band_in_range(self):
+        assert 0 < DEFAULT_TECH.retention_guard <= 1
+
+    def test_two_clock_domains(self):
+        assert DEFAULT_TECH.tck_ctrl > DEFAULT_TECH.tck_dev
+
+    def test_sense_margin_below_worst_swing(self):
+        """The margin must be reachable by the weakest coupled swing."""
+        from repro.model import PreSensingModel
+
+        pre = PreSensingModel(DEFAULT_TECH, DEFAULT_GEOMETRY)
+        worst = pre.worst_case_vsense([i % 2 for i in range(8)])
+        assert DEFAULT_TECH.sense_margin < worst

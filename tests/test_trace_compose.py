@@ -1,0 +1,79 @@
+"""Tests for trace composition (shifted / merge_traces)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import MemoryTrace, merge_traces
+
+
+def _trace(cycles, rows, name="t"):
+    n = len(cycles)
+    return MemoryTrace(
+        np.asarray(cycles, dtype=np.int64),
+        np.asarray(rows, dtype=np.int64),
+        np.zeros(n, dtype=bool),
+        name=name,
+    )
+
+
+class TestShifted:
+    def test_time_shift(self):
+        t = _trace([0, 10], [1, 2]).shifted(100)
+        assert t.cycles.tolist() == [100, 110]
+        assert t.rows.tolist() == [1, 2]
+
+    def test_row_shift(self):
+        t = _trace([0, 10], [1, 2]).shifted(0, delta_rows=50)
+        assert t.rows.tolist() == [51, 52]
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            _trace([5], [1]).shifted(-10)
+        with pytest.raises(ValueError, match="negative"):
+            _trace([5], [1]).shifted(0, delta_rows=-2)
+
+    def test_original_untouched(self):
+        original = _trace([0, 10], [1, 2])
+        original.shifted(100, 5)
+        assert original.cycles.tolist() == [0, 10]
+
+
+class TestMergeTraces:
+    def test_time_ordered(self):
+        a = _trace([0, 20], [1, 1], name="a")
+        b = _trace([10, 30], [2, 2], name="b")
+        merged = merge_traces([a, b], name="mix")
+        assert merged.cycles.tolist() == [0, 10, 20, 30]
+        assert merged.rows.tolist() == [1, 2, 1, 2]
+        assert merged.name == "mix"
+
+    def test_stable_on_ties(self):
+        a = _trace([5], [1])
+        b = _trace([5], [2])
+        merged = merge_traces([a, b])
+        assert merged.rows.tolist() == [1, 2]
+
+    def test_empty_inputs(self):
+        assert len(merge_traces([])) == 0
+        empty = _trace([], [])
+        assert len(merge_traces([empty, empty])) == 0
+
+    def test_mixed_empty_and_nonempty(self):
+        a = _trace([], [])
+        b = _trace([3], [7])
+        merged = merge_traces([a, b])
+        assert merged.rows.tolist() == [7]
+
+    def test_multiprogram_composition(self):
+        """Two programs with relocated working sets share a bank."""
+        from repro.sim import DRAMTiming
+        from repro.technology import DEFAULT_TECH
+        from repro.workloads import PARSEC_WORKLOADS, TraceGenerator
+
+        timing = DRAMTiming.from_technology(DEFAULT_TECH)
+        a = TraceGenerator(PARSEC_WORKLOADS["swaptions"], timing, seed=1).generate(0.02)
+        b = TraceGenerator(PARSEC_WORKLOADS["freqmine"], timing, seed=2).generate(0.02)
+        merged = merge_traces([a, b], name="swaptions+freqmine")
+        assert len(merged) == len(a) + len(b)
+        assert (np.diff(merged.cycles) >= 0).all()
+        assert merged.footprint_rows() >= max(a.footprint_rows(), b.footprint_rows())

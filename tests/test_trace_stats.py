@@ -1,0 +1,170 @@
+"""Tests for trace analysis and the VRL-Access Markov predictor."""
+
+import numpy as np
+import pytest
+
+from repro.controller import build_policy
+from repro.retention import RefreshBinning, RetentionProfiler
+from repro.sim import (
+    DRAMTiming,
+    MemoryTrace,
+    RefreshOverheadEvaluator,
+    analyze_trace,
+    predict_vrl_access_cycles,
+    predicted_full_fraction,
+    window_coverage,
+)
+from repro.technology import BankGeometry, DEFAULT_TECH
+from repro.units import MS
+
+TECH = DEFAULT_TECH
+TIMING = DRAMTiming.from_technology(TECH)
+GEO = BankGeometry(128, 8)
+
+
+def _trace(cycles, rows, writes=None, name="t"):
+    cycles = np.asarray(cycles, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    if writes is None:
+        writes = np.zeros(len(cycles), dtype=bool)
+    return MemoryTrace(cycles, rows, np.asarray(writes, dtype=bool), name=name)
+
+
+class TestAnalyzeTrace:
+    def test_basic_statistics(self):
+        trace = _trace([0, 10, 20, 40], [1, 1, 2, 3], [True, False, False, True])
+        stats = analyze_trace(trace)
+        assert stats.n_requests == 4
+        assert stats.n_writes == 2
+        assert stats.footprint_rows == 3
+        assert stats.duration_cycles == 40
+        assert stats.mean_interarrival_cycles == pytest.approx(40 / 3)
+        assert stats.max_row_share == pytest.approx(0.5)
+        assert stats.write_fraction == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        stats = analyze_trace(_trace([], []))
+        assert stats.n_requests == 0
+        assert stats.write_fraction == 0.0
+
+
+class TestWindowCoverage:
+    @pytest.fixture(scope="class")
+    def policy(self):
+        profile = RetentionProfiler(seed=21).profile(GEO)
+        binning = RefreshBinning().assign(profile)
+        return build_policy("vrl-access", TECH, profile, binning)
+
+    def test_unaccessed_rows_zero(self, policy):
+        duration = TIMING.cycles(512 * MS)
+        trace = _trace([10], [0])
+        coverage = window_coverage(trace, policy, TIMING, duration)
+        assert coverage[1:].max() == 0.0
+
+    def test_dense_access_full_coverage(self, policy):
+        duration = TIMING.cycles(512 * MS)
+        period = TIMING.cycles(policy.row_period(5))
+        cycles = np.arange(0, duration, max(1, period // 4))
+        trace = _trace(cycles, np.full(len(cycles), 5))
+        coverage = window_coverage(trace, policy, TIMING, duration)
+        assert coverage[5] == pytest.approx(1.0)
+
+    def test_half_coverage(self, policy):
+        """Accesses in every other interval give coverage ~0.5."""
+        duration = TIMING.cycles(2048 * MS)
+        row = 7
+        period = TIMING.cycles(policy.row_period(row))
+        first = (row * period) // policy.n_rows
+        dues = np.arange(first, duration, period)
+        # One access just before every second deadline.
+        cycles = np.sort(dues[::2] - 1)
+        cycles = cycles[cycles >= 0]
+        trace = _trace(cycles, np.full(len(cycles), row))
+        coverage = window_coverage(trace, policy, TIMING, duration)
+        assert coverage[row] == pytest.approx(0.5, abs=0.1)
+
+    def test_rows_outside_policy_ignored(self, policy):
+        duration = TIMING.cycles(64 * MS)
+        trace = _trace([5], [GEO.rows + 50])
+        coverage = window_coverage(trace, policy, TIMING, duration)
+        assert coverage.sum() == 0.0
+
+    def test_rejects_bad_duration(self, policy):
+        with pytest.raises(ValueError, match="duration"):
+            window_coverage(_trace([], []), policy, TIMING, 0)
+
+
+class TestPredictedFullFraction:
+    def test_zero_mprsf_always_full(self):
+        assert predicted_full_fraction(0, 0.0) == 1.0
+        assert predicted_full_fraction(0, 1.0) == 1.0
+
+    def test_no_coverage_reduces_to_plain_vrl(self):
+        for m in (1, 2, 3):
+            assert predicted_full_fraction(m, 0.0) == pytest.approx(1 / (m + 1))
+
+    def test_full_coverage_never_full(self):
+        assert predicted_full_fraction(3, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_coverage(self):
+        values = [predicted_full_fraction(3, c) for c in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_mprsf(self):
+        values = [predicted_full_fraction(m, 0.3) for m in (1, 2, 3, 5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_closed_form_geometric(self):
+        """Full refresh requires m consecutive no-access intervals; for
+        the m=1 chain the stationary full fraction is (1-c)/(2-c)...
+        verified against direct enumeration."""
+        c = 0.4
+        m = 1
+        # States {0}; every interval: effective = 0 w.p. c -> partial,
+        # else state... enumerate numerically with a long simulation.
+        rng = np.random.default_rng(0)
+        rcount, fulls, total = 0, 0, 200_000
+        for _ in range(total):
+            if rng.random() < c:
+                rcount = 0
+            if rcount == m:
+                fulls += 1
+                rcount = 0
+            else:
+                rcount += 1
+        assert predicted_full_fraction(m, c) == pytest.approx(fulls / total, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mprsf"):
+            predicted_full_fraction(-1, 0.5)
+        with pytest.raises(ValueError, match="coverage"):
+            predicted_full_fraction(2, 1.5)
+
+
+class TestPredictVsSimulation:
+    def test_matches_simulator_within_three_percent(self):
+        profile = RetentionProfiler(seed=21).profile(GEO)
+        binning = RefreshBinning().assign(profile)
+        policy = build_policy("vrl-access", TECH, profile, binning)
+        duration = TIMING.cycles(2048 * MS)
+        rng = np.random.default_rng(5)
+        n = 4000
+        trace = _trace(
+            np.sort(rng.integers(0, duration, n)),
+            rng.integers(0, GEO.rows, n),
+        )
+        simulated = RefreshOverheadEvaluator(policy, TIMING).evaluate(duration, trace)
+        policy.reset()
+        coverage = window_coverage(trace, policy, TIMING, duration)
+        predicted = predict_vrl_access_cycles(
+            policy.mprsf.values, coverage, binning.row_period,
+            policy.tau_partial, policy.tau_full,
+        )
+        simulated_rate = simulated.refresh_cycles / (duration * TECH.tck_ctrl)
+        assert predicted == pytest.approx(simulated_rate, rel=0.03)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            predict_vrl_access_cycles(
+                np.zeros(3), np.zeros(2), np.ones(3), 11, 19
+            )

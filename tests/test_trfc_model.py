@@ -1,0 +1,122 @@
+"""Unit tests for tRFC composition (Eq. 13) and RefreshTiming."""
+
+import numpy as np
+import pytest
+
+from repro.model import RefreshLatencyModel, RefreshTiming
+from repro.technology import DEFAULT_GEOMETRY, DEFAULT_TECH
+
+TECH = DEFAULT_TECH
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RefreshLatencyModel(TECH, DEFAULT_GEOMETRY)
+
+
+class TestRefreshTiming:
+    def test_total_is_sum(self):
+        timing = RefreshTiming(1, 2, 4, 4, 2.1e-9, 0.95)
+        assert timing.total_cycles == 11
+
+    def test_total_seconds(self):
+        timing = RefreshTiming(1, 2, 4, 4, 2.0e-9, 0.95)
+        assert timing.total_seconds == pytest.approx(22e-9)
+
+
+class TestPaperBreakdowns:
+    """The Section 3.1 headline numbers."""
+
+    def test_partial_breakdown(self, model):
+        partial = model.partial_refresh()
+        assert (partial.tau_eq, partial.tau_pre, partial.tau_post, partial.tau_fixed) == (
+            1, 2, 4, 4,
+        )
+        assert partial.total_cycles == 11
+
+    def test_full_breakdown(self, model):
+        full = model.full_refresh()
+        assert (full.tau_eq, full.tau_pre, full.tau_post, full.tau_fixed) == (1, 2, 12, 4)
+        assert full.total_cycles == 19
+
+    def test_restore_fractions_recorded(self, model):
+        assert model.partial_refresh().restore_fraction == TECH.partial_restore_fraction
+        assert model.full_refresh().restore_fraction == TECH.full_restore_fraction
+
+    def test_custom_fraction(self, model):
+        timing = model.partial_refresh(fraction=0.85)
+        assert timing.restore_fraction == 0.85
+        assert timing.total_cycles <= model.full_refresh().total_cycles
+
+    def test_partial_cheaper_than_full(self, model):
+        assert model.partial_refresh().total_cycles < model.full_refresh().total_cycles
+
+
+class TestChargeRestorationCurve:
+    def test_endpoints(self, model):
+        t, q = model.charge_restoration_curve()
+        assert t[0] == 0.0
+        assert t[-1] == pytest.approx(1.0)
+        assert q[0] == 0.0
+        assert q[-1] == pytest.approx(1.0)
+
+    def test_monotone(self, model):
+        _, q = model.charge_restoration_curve(n_points=301)
+        assert (np.diff(q) >= -1e-12).all()
+
+    def test_observation1(self, model):
+        """95% of charge at ~60% of tRFC (paper: 'approximately 60%')."""
+        t, q = model.charge_restoration_curve(n_points=401)
+        t95 = float(np.interp(0.95, q, t))
+        assert 0.55 < t95 < 0.68
+
+    def test_flat_before_restore_starts(self, model):
+        t, q = model.charge_restoration_curve(n_points=401)
+        assert q[t < 0.3].max() == 0.0
+
+    def test_rejects_too_few_points(self, model):
+        with pytest.raises(ValueError, match="points"):
+            model.charge_restoration_curve(n_points=1)
+
+
+class TestRestoredFraction:
+    def test_full_refresh_restores_fully(self, model):
+        full = model.full_refresh()
+        assert model.restored_fraction(TECH.fail_fraction, full) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_partial_truncated_at_target(self, model):
+        partial = model.partial_refresh()
+        restored = model.restored_fraction(TECH.fail_fraction, partial)
+        assert restored == pytest.approx(TECH.partial_restore_fraction)
+
+    def test_truncation_disabled_exceeds_target(self, model):
+        partial = model.partial_refresh()
+        untruncated = model.restored_fraction(TECH.fail_fraction, partial, truncate=False)
+        assert untruncated > TECH.partial_restore_fraction
+
+    def test_start_above_target_preserved(self, model):
+        """A cell already above the partial target is not discharged."""
+        partial = model.partial_refresh()
+        restored = model.restored_fraction(0.97, partial)
+        assert restored >= 0.97
+
+    def test_rejects_negative_start(self, model):
+        with pytest.raises(ValueError, match="negative"):
+            model.restored_fraction(-0.1, model.partial_refresh())
+
+    def test_monotone_in_start(self, model):
+        partial = model.partial_refresh()
+        fractions = [model.restored_fraction(f, partial) for f in (0.65, 0.75, 0.85)]
+        assert fractions == sorted(fractions)
+
+
+class TestComponentsExposed:
+    def test_submodels_share_tech(self, model):
+        assert model.equalization.tech is TECH
+        assert model.presensing.tech is TECH
+        assert model.postsensing.tech is TECH
+
+    def test_tau_eq_one_cycle(self, model):
+        assert model.tau_eq_cycles() == 1

@@ -1,0 +1,53 @@
+"""Tests for the model-vs-circuit validation suite."""
+
+import pytest
+
+from repro.experiments import run_validation
+from repro.model import PreSensingModel
+from repro.technology import DEFAULT_GEOMETRY, DEFAULT_TECH
+
+
+class TestWordlineKick:
+    def test_magnitude(self):
+        model = PreSensingModel(DEFAULT_TECH, DEFAULT_GEOMETRY)
+        tech = DEFAULT_TECH
+        expected = tech.cbw / tech.c_post(DEFAULT_GEOMETRY) * tech.vpp
+        assert model.wordline_kick == pytest.approx(expected)
+        assert 0.02 < model.wordline_kick < 0.04  # ~27 mV at the defaults
+
+    def test_zero_without_cbw(self):
+        tech = DEFAULT_TECH.scaled(cbw=1e-25)
+        model = PreSensingModel(tech, DEFAULT_GEOMETRY)
+        assert model.wordline_kick < 1e-6
+
+
+class TestValidationSuite:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_validation()
+
+    def test_six_rows(self, result):
+        assert len(result.rows) == 6
+
+    def test_vsense_within_five_percent(self, result):
+        for row in result.rows:
+            if row[0].startswith("charge sharing"):
+                assert float(row[3].rstrip("%")) < 5.0, row
+
+    def test_equalization_within_five_percent(self, result):
+        row = result.rows[0]
+        assert float(row[3].rstrip("%")) < 5.0
+
+    def test_sense_amp_resolves(self, result):
+        row = next(r for r in result.rows if r[0].startswith("sense amp"))
+        assert row[2] == "resolved"
+
+    def test_energy_duration_independent(self, result):
+        row = next(r for r in result.rows if r[0].startswith("energy"))
+        assert row[3] == "ok"
+
+    def test_restore_same_order_of_magnitude(self, result):
+        row = next(r for r in result.rows if r[0].startswith("restore"))
+        model_ns = float(row[1].split()[0])
+        circuit_ns = float(row[2].split()[0])
+        assert 0.2 < model_ns / circuit_ns < 5.0

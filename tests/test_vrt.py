@@ -1,0 +1,115 @@
+"""Tests for the variable-retention-time model and guard-band story."""
+
+import numpy as np
+import pytest
+
+from repro.mprsf import MPRSFCalculator
+from repro.retention import (
+    RefreshBinning,
+    RetentionProfiler,
+    VRTModel,
+    VRTParameters,
+    VRTReport,
+)
+from repro.technology import BankGeometry, DEFAULT_TECH
+
+TECH = DEFAULT_TECH
+
+
+@pytest.fixture(scope="module")
+def small_stack():
+    geometry = BankGeometry(1024, 8)
+    profile = RetentionProfiler(seed=42).profile(geometry)
+    binning = RefreshBinning().assign(profile)
+    return profile, binning
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        VRTParameters()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="affected_fraction"):
+            VRTParameters(affected_fraction=-0.1)
+
+    def test_rejects_bad_degradation(self):
+        with pytest.raises(ValueError, match="min_degradation"):
+            VRTParameters(min_degradation=0.0)
+        with pytest.raises(ValueError, match="min_degradation"):
+            VRTParameters(min_degradation=1.5)
+
+
+class TestDegradedRetention:
+    def test_deterministic(self, small_stack):
+        profile, _ = small_stack
+        a = VRTModel(seed=3).degraded_retention(profile)
+        b = VRTModel(seed=3).degraded_retention(profile)
+        assert np.array_equal(a, b)
+
+    def test_never_increases_retention(self, small_stack):
+        profile, _ = small_stack
+        degraded = VRTModel().degraded_retention(profile)
+        assert (degraded <= profile.row_retention + 1e-15).all()
+
+    def test_bounded_by_min_degradation(self, small_stack):
+        profile, _ = small_stack
+        params = VRTParameters(affected_fraction=1.0, min_degradation=0.7)
+        degraded = VRTModel(params).degraded_retention(profile)
+        assert (degraded >= 0.7 * profile.row_retention - 1e-15).all()
+
+    def test_affected_fraction_zero_is_identity(self, small_stack):
+        profile, _ = small_stack
+        params = VRTParameters(affected_fraction=0.0)
+        degraded = VRTModel(params).degraded_retention(profile)
+        assert np.array_equal(degraded, profile.row_retention)
+
+    def test_original_profile_untouched(self, small_stack):
+        profile, _ = small_stack
+        before = profile.row_retention.copy()
+        VRTModel(VRTParameters(affected_fraction=1.0)).degraded_retention(profile)
+        assert np.array_equal(profile.row_retention, before)
+
+
+class TestIntegrity:
+    def _mprsf(self, tech, profile, binning):
+        calc = MPRSFCalculator(tech, profile.geometry)
+        return calc.mprsf_for_rows(
+            profile.row_retention, binning.row_period, max_count=3
+        )
+
+    def test_guard_band_covers_vrt_for_partial_rows(self, small_stack):
+        """The headline: with the calibrated guard, partial refreshes
+        add zero violations beyond RAIDR's own VRT exposure."""
+        profile, binning = small_stack
+        vrt = VRTModel(VRTParameters(affected_fraction=0.1, min_degradation=0.75))
+        mprsf = self._mprsf(TECH, profile, binning)
+        report = vrt.integrity_report(TECH, profile, binning.row_period, mprsf)
+        assert report.partial_induced == 0
+
+    def test_no_guard_induces_violations(self, small_stack):
+        profile, binning = small_stack
+        unguarded = TECH.scaled(retention_guard=1.0)
+        vrt = VRTModel(VRTParameters(affected_fraction=0.3, min_degradation=0.75))
+        mprsf = self._mprsf(unguarded, profile, binning)
+        report = vrt.integrity_report(unguarded, profile, binning.row_period, mprsf)
+        assert report.partial_induced > 0
+
+    def test_no_vrt_no_violations(self, small_stack):
+        profile, binning = small_stack
+        vrt = VRTModel(VRTParameters(affected_fraction=0.0))
+        mprsf = self._mprsf(TECH, profile, binning)
+        report = vrt.integrity_report(TECH, profile, binning.row_period, mprsf)
+        assert report.total_violations == 0
+        assert report.raidr_baseline == 0
+
+    def test_report_arithmetic(self):
+        report = VRTReport(total_violations=9, raidr_baseline=6)
+        assert report.partial_induced == 3
+
+    def test_shape_validation(self, small_stack):
+        profile, binning = small_stack
+        vrt = VRTModel()
+        with pytest.raises(ValueError, match="row count"):
+            vrt.integrity_violations(
+                TECH, profile, binning.row_period[:10], np.zeros(10, dtype=int)
+            )

@@ -1,0 +1,154 @@
+"""Unit tests for the workload catalog and trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DRAMTiming
+from repro.technology import BankGeometry, DEFAULT_GEOMETRY, DEFAULT_TECH
+from repro.workloads import (
+    PARSEC_WORKLOADS,
+    TraceGenerator,
+    WorkloadSpec,
+    generate_suite,
+    workload_names,
+)
+
+TIMING = DRAMTiming.from_technology(DEFAULT_TECH)
+
+
+class TestCatalog:
+    def test_thirteen_benchmarks(self):
+        """PARSEC-3.0 subset plus bgsave, as in Fig. 4."""
+        assert len(PARSEC_WORKLOADS) == 13
+        assert "bgsave" in PARSEC_WORKLOADS
+        assert "canneal" in PARSEC_WORKLOADS
+
+    def test_names_keyed_consistently(self):
+        for name, spec in PARSEC_WORKLOADS.items():
+            assert spec.name == name
+
+    def test_workload_names_order(self):
+        assert workload_names() == list(PARSEC_WORKLOADS)
+
+    def test_bgsave_is_streaming_write_heavy(self):
+        spec = PARSEC_WORKLOADS["bgsave"]
+        assert spec.streaming_fraction >= 0.5
+        assert spec.write_fraction >= 0.5
+
+    def test_swaptions_is_small_footprint(self):
+        assert PARSEC_WORKLOADS["swaptions"].footprint_rows < 1000
+
+    def test_footprints_within_bank(self):
+        for spec in PARSEC_WORKLOADS.values():
+            assert spec.footprint_rows <= DEFAULT_GEOMETRY.rows
+
+
+class TestSpecValidation:
+    def _spec(self, **overrides):
+        base = dict(
+            name="x", footprint_rows=100, zipf_alpha=0.5,
+            requests_per_second=1e5, write_fraction=0.3,
+            streaming_fraction=0.2, description="test",
+        )
+        base.update(overrides)
+        return WorkloadSpec(**base)
+
+    def test_valid(self):
+        self._spec()
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("footprint_rows", 0, "footprint"),
+            ("zipf_alpha", -0.1, "zipf"),
+            ("requests_per_second", 0.0, "intensity"),
+            ("write_fraction", 1.5, "write_fraction"),
+            ("streaming_fraction", -0.2, "streaming_fraction"),
+        ],
+    )
+    def test_rejects(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            self._spec(**{field: value})
+
+
+class TestGenerator:
+    @pytest.fixture
+    def spec(self):
+        return PARSEC_WORKLOADS["blackscholes"]
+
+    def test_deterministic(self, spec):
+        a = TraceGenerator(spec, TIMING, seed=1).generate(0.05)
+        b = TraceGenerator(spec, TIMING, seed=1).generate(0.05)
+        assert np.array_equal(a.cycles, b.cycles)
+        assert np.array_equal(a.rows, b.rows)
+
+    def test_seed_changes_trace(self, spec):
+        a = TraceGenerator(spec, TIMING, seed=1).generate(0.05)
+        b = TraceGenerator(spec, TIMING, seed=2).generate(0.05)
+        assert not np.array_equal(a.rows, b.rows)
+
+    def test_request_count_matches_intensity(self, spec):
+        duration = 0.1
+        trace = TraceGenerator(spec, TIMING, seed=1).generate(duration)
+        assert len(trace) == int(spec.requests_per_second * duration)
+
+    def test_rows_within_footprint_window(self, spec):
+        gen = TraceGenerator(spec, TIMING, seed=1)
+        trace = gen.generate(0.05)
+        assert trace.rows.min() >= gen.base_row
+        assert trace.rows.max() < gen.base_row + gen.footprint
+
+    def test_rows_within_bank(self, spec):
+        trace = TraceGenerator(spec, TIMING, seed=1).generate(0.05)
+        assert trace.rows.max() < DEFAULT_GEOMETRY.rows
+
+    def test_cycles_within_duration(self, spec):
+        duration = 0.05
+        trace = TraceGenerator(spec, TIMING, seed=1).generate(duration)
+        assert trace.cycles.max() < TIMING.cycles(duration)
+        assert (np.diff(trace.cycles) >= 0).all()
+
+    def test_write_fraction_approximate(self, spec):
+        trace = TraceGenerator(spec, TIMING, seed=1).generate(0.2)
+        measured = trace.n_writes / len(trace)
+        assert measured == pytest.approx(spec.write_fraction, abs=0.05)
+
+    def test_zipf_concentrates_accesses(self):
+        skewed = PARSEC_WORKLOADS["swaptions"]  # alpha = 1.0
+        trace = TraceGenerator(skewed, TIMING, seed=1).generate(0.3)
+        _, counts = np.unique(trace.rows, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Top 10% of rows take far more than 10% of accesses.
+        top = counts[: max(1, len(counts) // 10)].sum()
+        assert top / counts.sum() > 0.25
+
+    def test_footprint_clamped_to_small_bank(self, spec):
+        small = BankGeometry(64, 8)
+        gen = TraceGenerator(spec, TIMING, geometry=small, seed=1)
+        trace = gen.generate(0.02)
+        assert trace.rows.max() < 64
+
+    def test_rejects_bad_duration(self, spec):
+        with pytest.raises(ValueError, match="duration"):
+            TraceGenerator(spec, TIMING, seed=1).generate(0.0)
+
+
+class TestSuite:
+    def test_full_suite(self):
+        traces = generate_suite(TIMING, 0.02)
+        assert set(traces) == set(PARSEC_WORKLOADS)
+        for name, trace in traces.items():
+            assert trace.name == name
+            assert len(trace) > 0
+
+    def test_subset(self):
+        traces = generate_suite(TIMING, 0.02, names=["canneal", "bgsave"])
+        assert set(traces) == {"canneal", "bgsave"}
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            generate_suite(TIMING, 0.02, names=["nope"])
+
+    def test_distinct_benchmarks_have_distinct_footprints(self):
+        traces = generate_suite(TIMING, 0.05, names=["swaptions", "canneal"])
+        assert traces["swaptions"].footprint_rows() < traces["canneal"].footprint_rows()
