@@ -80,6 +80,10 @@ from .area import AreaModel
 
 __version__ = "1.0.0"
 
+# The runner layer imports __version__ (cache keys embed it), so it must
+# come after the assignment above.
+from .runner import Cell, ExperimentRunner, ResultCache  # noqa: E402
+
 __all__ = [
     "BankGeometry",
     "DEFAULT_GEOMETRY",
@@ -125,5 +129,8 @@ __all__ = [
     "generate_suite",
     "RefreshPowerModel",
     "AreaModel",
+    "Cell",
+    "ExperimentRunner",
+    "ResultCache",
     "__version__",
 ]

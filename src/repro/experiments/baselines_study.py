@@ -13,12 +13,20 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..controller import FGRPolicy, build_policy
-from ..retention import RefreshBinning, RetentionProfiler
-from ..sim import DRAMTiming, RefreshOverheadEvaluator
+from ..retention import RetentionProfiler
+from ..runner import Cell, ExperimentRunner, tech_params
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
-from ..workloads import PARSEC_WORKLOADS, TraceGenerator
 from .result import ExperimentResult
+
+#: Mechanisms compared, in presentation order.
+BASELINE_MECHANISMS = (
+    "fixed-64ms",
+    "fgr-2x",
+    "fgr-4x",
+    "raidr",
+    "vrl",
+    "vrl-access",
+)
 
 
 def run_baseline_comparison(
@@ -27,6 +35,7 @@ def run_baseline_comparison(
     duration_seconds: float = 1.0,
     benchmark: Optional[str] = "canneal",
     seed: int = RetentionProfiler.DEFAULT_SEED,
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentResult:
     """Compare six refresh mechanisms on one workload.
 
@@ -37,28 +46,27 @@ def run_baseline_comparison(
         benchmark: workload name for the access-aware policies; ``None``
             runs refresh-only.
         seed: profiling / trace seed.
+        runner: experiment executor; defaults to a serial, uncached one.
     """
-    timing = DRAMTiming.from_technology(tech)
-    duration_cycles = timing.cycles(duration_seconds)
-    profile = RetentionProfiler(seed=seed).profile(geometry)
-    binning = RefreshBinning().assign(profile)
-    trace = (
-        TraceGenerator(PARSEC_WORKLOADS[benchmark], timing, geometry, seed).generate(
-            duration_seconds
+    runner = runner or ExperimentRunner()
+    tech_dict = tech_params(tech)
+    cells = [
+        Cell(
+            "baseline-mechanism",
+            {
+                "tech": tech_dict,
+                "rows": geometry.rows,
+                "cols": geometry.cols,
+                "mechanism": mechanism,
+                "benchmark": benchmark,
+                "seed": seed,
+                "duration_seconds": duration_seconds,
+            },
+            label=f"baseline/{mechanism}",
         )
-        if benchmark
-        else None
-    )
-
-    fixed = build_policy("fixed", tech, profile, binning)
-    policies = [
-        fixed,
-        FGRPolicy(geometry.rows, fixed.tau_full, mode=2),
-        FGRPolicy(geometry.rows, fixed.tau_full, mode=4),
-        build_policy("raidr", tech, profile, binning),
-        build_policy("vrl", tech, profile, binning),
-        build_policy("vrl-access", tech, profile, binning),
+        for mechanism in BASELINE_MECHANISMS
     ]
+    report = runner.run(cells, experiment="baselines")
 
     descriptions = {
         "fixed-64ms": "conventional JEDEC 1x",
@@ -71,22 +79,16 @@ def run_baseline_comparison(
 
     rows = []
     baseline_cycles = None
-    for policy in policies:
-        stats = RefreshOverheadEvaluator(policy, timing).evaluate(duration_cycles, trace)
+    for payload in report.results:
         if baseline_cycles is None:
-            baseline_cycles = stats.refresh_cycles
-        longest = (
-            policy.tau_op
-            if isinstance(policy, FGRPolicy)
-            else getattr(policy, "tau_full", fixed.tau_full)
-        )
+            baseline_cycles = payload["refresh_cycles"]
         rows.append(
             (
-                policy.name,
-                stats.refresh_cycles,
-                f"{stats.refresh_cycles / baseline_cycles:.3f}",
-                longest,
-                descriptions.get(policy.name, ""),
+                payload["name"],
+                payload["refresh_cycles"],
+                f"{payload['refresh_cycles'] / baseline_cycles:.3f}",
+                payload["longest_op_cycles"],
+                descriptions.get(payload["name"], ""),
             )
         )
 
@@ -112,4 +114,4 @@ def run_baseline_comparison(
                 "approaches are orthogonal and could compose"
             ),
         },
-    )
+    ).merge_notes(report.notes())

@@ -3,16 +3,29 @@
 Examples::
 
     vrl-dram fig4 --duration 1.0
+    vrl-dram fig4 --jobs 4              # fan sweep cells across 4 workers
     vrl-dram table1 --no-spice
-    vrl-dram all
+    vrl-dram all --jobs 0 --no-cache    # one worker per CPU, recompute all
+
+The sweep experiments (``fig4``, ``performance``, ``rank``,
+``baselines``, ``temperature``) run through :mod:`repro.runner`: their
+cells are cached on disk keyed by the full parameter set (see
+``--cache-dir``), fanned out over ``--jobs`` worker processes, and each
+run writes an observability manifest to ``--runs-dir``.  A warm re-run
+only recomputes cells whose parameters (or the package version)
+changed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..runner import ExperimentRunner, ResultCache
 
 from . import (
     run_baseline_comparison,
@@ -36,9 +49,35 @@ from . import (
 )
 from .result import ExperimentResult
 
+#: Default directory for the per-run observability manifests.
+DEFAULT_RUNS_DIR = "runs"
+
+
+def default_cache_dir() -> Path:
+    """The cell cache location: ``$VRL_DRAM_CACHE`` or ``~/.cache/vrl-dram``.
+
+    Resolved at runner-construction time (not import time) so tests and
+    wrappers can redirect it through the environment.
+    """
+    return Path(os.environ.get("VRL_DRAM_CACHE", Path.home() / ".cache" / "vrl-dram"))
+
+
+def _runner_for(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the shared experiment runner from the parsed CLI flags."""
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return ExperimentRunner(jobs=args.jobs, cache=cache, runs_dir=args.runs_dir)
+
 
 def _experiments() -> dict[str, Callable[[argparse.Namespace], ExperimentResult]]:
-    """Dispatch table from experiment name to a driver closure."""
+    """Dispatch table from experiment name to a driver closure.
+
+    The sweep drivers receive the runner built from ``--jobs`` /
+    ``--cache-dir`` / ``--no-cache`` (one runner per ``main`` call, so
+    ``vrl-dram all`` shares its worker pool, per-process trace builds,
+    and cache across experiments).
+    """
     return {
         "fig1a": lambda a: run_fig1a(with_spice=a.spice),
         "fig1b": lambda a: run_fig1b(),
@@ -49,6 +88,7 @@ def _experiments() -> dict[str, Callable[[argparse.Namespace], ExperimentResult]
             benchmarks=a.benchmarks or None,
             nbits=a.nbits,
             seed=a.seed,
+            runner=getattr(a, "runner", None),
         ),
         "fig5": lambda a: run_fig5(),
         "table1": lambda a: run_table1(with_spice=a.spice),
@@ -58,16 +98,23 @@ def _experiments() -> dict[str, Callable[[argparse.Namespace], ExperimentResult]
         "ablation-geometry": lambda a: run_geometry_ablation(),
         "ablation-bins": lambda a: run_bins_ablation(seed=a.seed),
         "sensitivity": lambda a: run_sensitivity(),
-        "rank": lambda a: run_rank_comparison(seed=a.seed),
+        "rank": lambda a: run_rank_comparison(
+            seed=a.seed, runner=getattr(a, "runner", None)
+        ),
         "validate": lambda a: run_validation(),
         "baselines": lambda a: run_baseline_comparison(
-            duration_seconds=a.duration, seed=a.seed
+            duration_seconds=a.duration,
+            seed=a.seed,
+            runner=getattr(a, "runner", None),
         ),
-        "temperature": lambda a: run_temperature_study(seed=a.seed),
+        "temperature": lambda a: run_temperature_study(
+            seed=a.seed, runner=getattr(a, "runner", None)
+        ),
         "performance": lambda a: run_performance_study(
             duration_seconds=min(a.duration, 0.5),
             benchmarks=a.benchmarks or None,
             seed=a.seed,
+            runner=getattr(a, "runner", None),
         ),
     }
 
@@ -101,6 +148,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="fig1a/table1: skip the SPICE-lite circuit simulations",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk cell-result cache for sweep experiments "
+        "(default: $VRL_DRAM_CACHE or ~/.cache/vrl-dram)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep cell, ignoring the cache",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        default=DEFAULT_RUNS_DIR,
+        help="where sweep runs write their <timestamp>.json manifest "
+        "('' disables)",
+    )
     parser.set_defaults(spice=True)
     return parser
 
@@ -108,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Run one (or all) experiments and print the result tables."""
     args = build_parser().parse_args(argv)
+    if args.jobs < 0:
+        print(f"error: --jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    if not args.runs_dir:
+        args.runs_dir = None
+    args.runner = _runner_for(args)
     table = _experiments()
     names = sorted(table) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -15,13 +15,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..controller import build_policy
 from ..model import RefreshLatencyModel
 from ..power import RefreshPowerModel
-from ..retention import RefreshBinning, RetentionProfiler
-from ..sim import DRAMTiming, RefreshOverheadEvaluator
+from ..retention import RetentionProfiler
+from ..runner import Cell, ExperimentRunner, tech_params
+from ..sim.stats import RefreshStats
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
-from ..workloads import generate_suite
+from ..workloads import PARSEC_WORKLOADS
 from .result import ExperimentResult
 
 #: Policies compared in Fig. 4, in plot order.
@@ -36,6 +36,7 @@ def run_fig4(
     nbits: int = 2,
     seed: int = RetentionProfiler.DEFAULT_SEED,
     include_power: bool = True,
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentResult:
     """Run the full benchmark suite under the three policies.
 
@@ -48,25 +49,45 @@ def run_fig4(
         nbits: VRL counter width.
         seed: retention-profiling / trace-generation seed.
         include_power: also compute the refresh power ratio.
+        runner: experiment executor; defaults to a serial, uncached one
+            (results are identical for any runner configuration).
     """
-    timing = DRAMTiming.from_technology(tech)
-    duration_cycles = timing.cycles(duration_seconds)
-    profile = RetentionProfiler(seed=seed).profile(geometry)
-    binning = RefreshBinning().assign(profile)
-    traces = generate_suite(
-        timing, duration_seconds, geometry, seed=seed, names=list(benchmarks) if benchmarks else None
-    )
+    runner = runner or ExperimentRunner()
+    names = list(benchmarks) if benchmarks else list(PARSEC_WORKLOADS)
+    for name in names:
+        if name not in PARSEC_WORKLOADS:
+            raise KeyError(
+                f"unknown workload {name!r}; available: {list(PARSEC_WORKLOADS)}"
+            )
 
-    stats: dict[tuple[str, str], object] = {}
-    for policy_name in FIG4_POLICIES:
-        policy = build_policy(policy_name, tech, profile, binning, nbits=nbits)
-        evaluator = RefreshOverheadEvaluator(policy, timing)
-        for bench, trace in traces.items():
-            stats[(policy_name, bench)] = evaluator.evaluate(duration_cycles, trace)
+    tech_dict = tech_params(tech)
+    grid = [(policy, bench) for policy in FIG4_POLICIES for bench in names]
+    cells = [
+        Cell(
+            "refresh-overhead",
+            {
+                "tech": tech_dict,
+                "rows": geometry.rows,
+                "cols": geometry.cols,
+                "policy": policy,
+                "nbits": nbits,
+                "benchmark": bench,
+                "seed": seed,
+                "duration_seconds": duration_seconds,
+            },
+            label=f"{policy}/{bench}",
+        )
+        for policy, bench in grid
+    ]
+    report = runner.run(cells, experiment="fig4")
+    stats = {
+        pair: RefreshStats(**payload)
+        for pair, payload in zip(grid, report.results)
+    }
 
     rows = []
     normalized: dict[str, list[float]] = {p: [] for p in FIG4_POLICIES}
-    for bench in traces:
+    for bench in names:
         base = stats[("raidr", bench)].refresh_cycles
         values = []
         for policy_name in FIG4_POLICIES:
@@ -91,7 +112,7 @@ def run_fig4(
         power = RefreshPowerModel(tech, geometry)
         full, partial = model.full_refresh(), model.partial_refresh()
         ratios = []
-        for bench in traces:
+        for bench in names:
             p_raidr = power.refresh_power(stats[("raidr", bench)], full, partial)
             p_vrl = power.refresh_power(stats[("vrl", bench)], full, partial)
             ratios.append(p_vrl / p_raidr)
@@ -105,4 +126,4 @@ def run_fig4(
         headers=["benchmark", "RAIDR", "VRL", "VRL-Access"],
         rows=rows,
         notes=notes,
-    )
+    ).merge_notes(report.notes())

@@ -16,11 +16,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..controller import build_policy
-from ..retention import RefreshBinning, RetentionProfiler
-from ..sim import BankSimulator, DRAMTiming
+from ..retention import RetentionProfiler
+from ..runner import Cell, ExperimentRunner, tech_params
+from ..sim.stats import RefreshStats, RequestStats
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
-from ..workloads import generate_suite
+from ..workloads import PARSEC_WORKLOADS
 from .result import ExperimentResult
 
 #: Policies compared, in presentation order.
@@ -37,6 +37,7 @@ def run_performance_study(
     duration_seconds: float = 0.3,
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = RetentionProfiler.DEFAULT_SEED,
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentResult:
     """Cycle-level request-latency comparison across refresh policies.
 
@@ -46,29 +47,52 @@ def run_performance_study(
         duration_seconds: simulated time per (benchmark, policy) pair.
         benchmarks: benchmark names; defaults to a four-workload subset.
         seed: profiling / trace seed.
+        runner: experiment executor; defaults to a serial, uncached one.
     """
-    timing = DRAMTiming.from_technology(tech)
-    duration_cycles = timing.cycles(duration_seconds)
-    profile = RetentionProfiler(seed=seed).profile(geometry)
-    binning = RefreshBinning().assign(profile)
+    runner = runner or ExperimentRunner()
     names = list(benchmarks) if benchmarks else list(DEFAULT_BENCHMARKS)
-    traces = generate_suite(timing, duration_seconds, geometry, seed=seed, names=names)
+    for name in names:
+        if name not in PARSEC_WORKLOADS:
+            raise KeyError(
+                f"unknown workload {name!r}; available: {list(PARSEC_WORKLOADS)}"
+            )
+
+    tech_dict = tech_params(tech)
+    grid = [(bench, policy) for bench in names for policy in PERF_POLICIES]
+    cells = [
+        Cell(
+            "engine-run",
+            {
+                "tech": tech_dict,
+                "rows": geometry.rows,
+                "cols": geometry.cols,
+                "policy": policy,
+                "nbits": 2,
+                "benchmark": bench,
+                "seed": seed,
+                "duration_seconds": duration_seconds,
+            },
+            label=f"{policy}/{bench}",
+        )
+        for bench, policy in grid
+    ]
+    report = runner.run(cells, experiment="performance")
+    outcomes = {
+        pair: (RefreshStats(**payload["refresh"]), RequestStats(**payload["requests"]))
+        for pair, payload in zip(grid, report.results)
+    }
 
     rows = []
     stall_summary: dict[str, int] = {}
-    for bench, trace in traces.items():
+    for bench in names:
         base_latency = None
         for policy_name in PERF_POLICIES:
-            policy = build_policy(policy_name, tech, profile, binning)
-            result = BankSimulator(policy, timing, geometry).run(
-                trace=trace, duration_cycles=duration_cycles
-            )
-            latency = result.requests.mean_latency_cycles
+            refresh, requests = outcomes[(bench, policy_name)]
+            latency = requests.mean_latency_cycles
             if base_latency is None:
                 base_latency = latency
             stall_summary[policy_name] = (
-                stall_summary.get(policy_name, 0)
-                + result.requests.refresh_stall_cycles
+                stall_summary.get(policy_name, 0) + requests.refresh_stall_cycles
             )
             rows.append(
                 (
@@ -76,9 +100,9 @@ def run_performance_study(
                     policy_name,
                     f"{latency:.2f}",
                     f"{latency / base_latency:.4f}",
-                    result.requests.refresh_stall_cycles,
-                    f"{100 * result.requests.row_hit_rate:.1f}%",
-                    f"{100 * result.refresh.overhead:.3f}%",
+                    requests.refresh_stall_cycles,
+                    f"{100 * requests.row_hit_rate:.1f}%",
+                    f"{100 * refresh.overhead:.3f}%",
                 )
             )
 
@@ -113,4 +137,4 @@ def run_performance_study(
         ],
         rows=rows,
         notes=notes,
-    )
+    ).merge_notes(report.notes())

@@ -16,9 +16,10 @@ the rank blocked-time fraction (probability >= 1 bank is refreshing).
 
 from __future__ import annotations
 
-from ..controller import build_policy
-from ..retention import RefreshBinning, RetentionProfiler
-from ..sim import DRAMTiming, RankSimulator
+from typing import Optional
+
+from ..retention import RetentionProfiler
+from ..runner import Cell, ExperimentRunner, tech_params
 from ..technology import DEFAULT_TECH, BankGeometry, TechnologyParams
 from .result import ExperimentResult
 
@@ -32,6 +33,7 @@ def run_rank_comparison(
     n_banks: int = 8,
     duration_seconds: float = 0.5,
     seed: int = RetentionProfiler.DEFAULT_SEED,
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentResult:
     """Compare refresh modes at rank granularity.
 
@@ -43,36 +45,40 @@ def run_rank_comparison(
         n_banks: banks per rank (DDR3: 8).
         duration_seconds: simulated horizon.
         seed: base profiling seed (each bank gets its own profile).
+        runner: experiment executor; defaults to a serial, uncached one.
     """
-    timing = DRAMTiming.from_technology(tech)
-    duration_cycles = timing.cycles(duration_seconds)
-
-    profiles = [
-        RetentionProfiler(seed=seed + bank).profile(geometry) for bank in range(n_banks)
+    runner = runner or ExperimentRunner()
+    tech_dict = tech_params(tech)
+    cells = [
+        Cell(
+            "rank-mode",
+            {
+                "tech": tech_dict,
+                "rows": geometry.rows,
+                "cols": geometry.cols,
+                "n_banks": n_banks,
+                "mode": mode,
+                "seed": seed,
+                "duration_seconds": duration_seconds,
+            },
+            label=f"rank/{mode}",
+        )
+        for mode in RANK_MODES
     ]
-    binnings = [RefreshBinning().assign(profile) for profile in profiles]
+    report = runner.run(cells, experiment="rank")
 
     rows = []
     baseline_cycles = None
-    for mode in RANK_MODES:
-        policy_name = "fixed" if mode == "all-bank" else mode
-        policies = [
-            build_policy(policy_name, tech, profiles[b], binnings[b])
-            for b in range(n_banks)
-        ]
-        simulator = RankSimulator(
-            policies, timing, geometry, all_bank_refresh=(mode == "all-bank")
-        )
-        result = simulator.run(duration_cycles=duration_cycles)
+    for mode, payload in zip(RANK_MODES, report.results):
         if baseline_cycles is None:
-            baseline_cycles = result.total_refresh_cycles
+            baseline_cycles = payload["total_refresh_cycles"]
         rows.append(
             (
                 mode,
-                result.total_refresh_cycles,
-                f"{result.total_refresh_cycles / baseline_cycles:.3f}",
-                f"{100 * result.refresh_overhead:.3f}%",
-                f"{100 * result.blocked_fraction:.3f}%",
+                payload["total_refresh_cycles"],
+                f"{payload['total_refresh_cycles'] / baseline_cycles:.3f}",
+                f"{100 * payload['refresh_overhead']:.3f}%",
+                f"{100 * payload['blocked_fraction']:.3f}%",
             )
         )
 
@@ -102,4 +108,4 @@ def run_rank_comparison(
                 "operation, and both keep 7 of 8 banks available during refresh"
             ),
         },
-    )
+    ).merge_notes(report.notes())

@@ -27,6 +27,18 @@ class ExperimentResult:
     rows: list[tuple]
     notes: dict[str, Any] = field(default_factory=dict)
 
+    def merge_notes(self, extra: "dict[str, Any]") -> "ExperimentResult":
+        """Fold additional key/value findings into ``notes`` (chainable).
+
+        Used by the runner-backed drivers to attach run observability
+        (cache hit rates, worker utilization, manifest path) to the
+        scientific notes; existing keys win so experiment findings are
+        never overwritten by telemetry.
+        """
+        for key, value in extra.items():
+            self.notes.setdefault(key, value)
+        return self
+
     def column(self, name: str) -> list:
         """Values of one column by header name."""
         try:

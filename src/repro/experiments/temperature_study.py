@@ -13,13 +13,11 @@ JEDEC extended-temperature refresh mode).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..mprsf import TauPartialOptimizer
-from ..retention import RefreshBinning, RetentionProfiler
-from ..retention.temperature import TemperatureModel
+from ..retention import RetentionProfiler
+from ..runner import Cell, ExperimentRunner, tech_params
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
-from ..units import MS
 from .result import ExperimentResult
 
 #: Operating points swept by default (degC).
@@ -31,6 +29,7 @@ def run_temperature_study(
     geometry: BankGeometry = DEFAULT_GEOMETRY,
     temperatures: Sequence[float] = DEFAULT_TEMPERATURES,
     seed: int = RetentionProfiler.DEFAULT_SEED,
+    runner: Optional[ExperimentRunner] = None,
 ) -> ExperimentResult:
     """VRL deployment re-derived at each operating temperature.
 
@@ -40,32 +39,39 @@ def run_temperature_study(
         temperatures: operating points in degC (profiles are referenced
             at 45 degC).
         seed: profiling seed.
+        runner: experiment executor; defaults to a serial, uncached one.
     """
-    base_profile = RetentionProfiler(seed=seed).profile(geometry)
-    model = TemperatureModel()
-    binning_tool = RefreshBinning()
+    runner = runner or ExperimentRunner()
+    tech_dict = tech_params(tech)
+    cells = [
+        Cell(
+            "temperature-point",
+            {
+                "tech": tech_dict,
+                "rows": geometry.rows,
+                "cols": geometry.cols,
+                "temperature": float(temperature),
+                "seed": seed,
+            },
+            label=f"temp/{temperature:.0f}C",
+        )
+        for temperature in temperatures
+    ]
+    report = runner.run(cells, experiment="temperature")
 
     rows = []
     baseline_raidr = None
-    for temperature in temperatures:
-        profile = model.scale_profile(base_profile, temperature)
-        binning = binning_tool.assign(profile)
-        optimizer = TauPartialOptimizer(tech, geometry)
-        evaluation = optimizer.evaluate(
-            profile, binning, tech.partial_restore_fraction
-        )
-        raidr = optimizer.raidr_overhead(binning.row_period, optimizer.model.full_refresh().total_cycles)
+    for temperature, payload in zip(temperatures, report.results):
         if baseline_raidr is None:
-            baseline_raidr = raidr
-        weak_rows = int((profile.row_retention < 128 * MS).sum())
+            baseline_raidr = payload["raidr_cycles_per_second"]
         rows.append(
             (
                 f"{temperature:.0f} C",
-                f"{model.retention_factor(temperature):.2f}x",
-                weak_rows,
-                f"{raidr / baseline_raidr:.2f}x",
-                f"{evaluation.overhead_vs_raidr:.3f}",
-                f"{evaluation.mean_mprsf:.2f}",
+                f"{payload['retention_factor']:.2f}x",
+                payload["weak_rows"],
+                f"{payload['raidr_cycles_per_second'] / baseline_raidr:.2f}x",
+                f"{payload['overhead_vs_raidr']:.3f}",
+                f"{payload['mean_mprsf']:.2f}",
             )
         )
 
@@ -92,4 +98,4 @@ def run_temperature_study(
                 "(vrl-dram ablation-bins)"
             ),
         },
-    )
+    ).merge_notes(report.notes())

@@ -1,0 +1,46 @@
+"""Parallel, cached experiment execution (the ``vrl-dram`` run layer).
+
+The experiment sweeps of the reproduction — Fig. 4, the performance /
+rank / baseline / temperature studies — are grids of independent cells
+(one ``(workload, policy)`` or ``(mode)`` or ``(temperature)`` point
+each).  This package runs such grids:
+
+* :class:`~repro.runner.cells.Cell` — one picklable, hashable cell
+  recipe (kind + JSON-primitive params);
+* :class:`~repro.runner.cache.ResultCache` — content-addressed on-disk
+  result store keyed by :func:`~repro.runner.cache.cache_key` over
+  (cell kind, full parameter set, package version);
+* :class:`~repro.runner.executor.ExperimentRunner` — cache-first
+  executor fanning misses out over a process pool, reporting per-cell
+  wall time, hit/miss counters and worker utilization in a
+  :class:`~repro.runner.executor.RunReport`;
+* :mod:`~repro.runner.manifest` — ``runs/<timestamp>.json`` manifests.
+
+Guarantee: payloads are independent of ``jobs`` and cache state — the
+parallel cached run of a sweep is bit-identical to the serial cold run
+(asserted by ``tests/test_runner_executor.py``).
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache, cache_key, canonical_json
+from .cells import CELL_KINDS, Cell, compute_cell, shared_build_cache_info, tech_params
+from .executor import CellOutcome, ExperimentRunner, RunReport
+from .manifest import MANIFEST_SCHEMA, latest_manifest, load_manifest, write_manifest
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CELL_KINDS",
+    "Cell",
+    "CellOutcome",
+    "ExperimentRunner",
+    "MANIFEST_SCHEMA",
+    "ResultCache",
+    "RunReport",
+    "cache_key",
+    "canonical_json",
+    "compute_cell",
+    "latest_manifest",
+    "load_manifest",
+    "shared_build_cache_info",
+    "tech_params",
+    "write_manifest",
+]

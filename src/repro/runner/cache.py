@@ -1,0 +1,123 @@
+"""Content-addressed on-disk cache for experiment cell results.
+
+A *cell* (one ``(workload, policy)``-style unit of an experiment sweep)
+is identified by a stable SHA-256 digest of its full recomputation
+recipe: the cell kind, every parameter that feeds the computation
+(policy configuration, trace name and seed, technology/timing
+parameters, duration), and the package version.  Any change to any of
+those produces a different key, so stale entries are never returned —
+they are simply never looked up again.
+
+Entries are single JSON files named ``<digest>.json`` inside the cache
+directory.  Writes are atomic (temp file + ``os.replace``), and reads
+treat *any* malformed entry — truncated JSON, wrong schema, digest
+mismatch — as a miss: the cell is recomputed and the bad file replaced,
+never crashed on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from .. import __version__
+
+#: Bumped when the on-disk entry layout changes (invalidates old caches).
+CACHE_SCHEMA = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON serialization (sorted keys, compact, no NaN)."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def cache_key(kind: str, params: Mapping[str, Any], version: str = __version__) -> str:
+    """The content address of one cell: sha256 over its recipe.
+
+    Args:
+        kind: registered cell kind (see :mod:`repro.runner.cells`).
+        params: every input of the computation, JSON primitives only.
+        version: package version; part of the key so upgrading the code
+            invalidates all cached numbers.
+    """
+    recipe = canonical_json(
+        {"kind": kind, "params": params, "version": version, "schema": CACHE_SCHEMA}
+    )
+    return hashlib.sha256(recipe.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk cell-result store, one JSON file per cache key.
+
+    Args:
+        directory: cache root; created on first write.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or ``None`` on miss.
+
+        A corrupt entry (unparseable, wrong schema, or stored under a
+        mismatching key) counts as a miss and is deleted so the rerun's
+        fresh result can take its place.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open() as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA
+            or entry.get("key") != key
+            or "payload" not in entry
+        ):
+            self._discard(path)
+            return None
+        return entry["payload"]
+
+    def put(self, key: str, payload: dict, meta: Optional[Mapping[str, Any]] = None) -> Path:
+        """Store ``payload`` under ``key`` atomically; returns the path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "version": __version__,
+            "meta": dict(meta) if meta else {},
+            "payload": payload,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing unlink is fine
+            pass

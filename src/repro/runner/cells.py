@@ -1,0 +1,315 @@
+"""Sweep-cell definitions: picklable recipes the executor can fan out.
+
+A :class:`Cell` is one independent unit of an experiment sweep — e.g.
+one ``(benchmark, policy)`` pair of the Fig. 4 grid — described entirely
+by JSON primitives so it can (a) cross a process boundary and (b) be
+hashed into a content address for the on-disk cache.  Each cell kind has
+a compute function registered in :data:`CELL_KINDS` that rebuilds the
+simulation objects from the primitives and returns a JSON-serializable
+payload.
+
+Heavy intermediate objects (retention profiles, binnings, traces) are
+memoized **per process** with keyed LRU caches, so a worker computing
+several cells of the same sweep builds each workload trace and each
+profile exactly once and shares it across policies — rather than
+regenerating it per cell, which is what the pre-runner serial drivers
+did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from ..controller import FGRPolicy, build_policy
+from ..mprsf import TauPartialOptimizer
+from ..retention import RefreshBinning, RetentionProfiler
+from ..retention.temperature import TemperatureModel
+from ..sim import (
+    BankSimulator,
+    DRAMTiming,
+    RankSimulator,
+    RefreshOverheadEvaluator,
+)
+from ..technology import BankGeometry, TechnologyParams
+from ..units import MS
+from ..workloads import PARSEC_WORKLOADS, TraceGenerator
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independently computable, cacheable unit of a sweep.
+
+    Attributes:
+        kind: registered compute-function name (key of
+            :data:`CELL_KINDS`).
+        params: the complete recomputation recipe, JSON primitives only
+            (hashed into the cache key).
+        label: short human-readable tag for manifests and logs.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(hash=False)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(
+                f"unknown cell kind {self.kind!r}; registered: {sorted(CELL_KINDS)}"
+            )
+
+
+def tech_params(tech: TechnologyParams) -> dict[str, Any]:
+    """A :class:`TechnologyParams` as a JSON-primitive dict (cache-keyable)."""
+    return asdict(tech)
+
+
+# --------------------------------------------------------------------- #
+# Per-process memoized builders                                          #
+# --------------------------------------------------------------------- #
+
+
+def _freeze(tech_dict: Mapping[str, Any]) -> tuple:
+    """Hashable form of a tech dict for the memo keys."""
+    return tuple(sorted(tech_dict.items()))
+
+
+@lru_cache(maxsize=8)
+def _tech(frozen: tuple) -> TechnologyParams:
+    return TechnologyParams(**dict(frozen))
+
+
+@lru_cache(maxsize=32)
+def _profile_binning(frozen_tech: tuple, rows: int, cols: int, seed: int):
+    """(profile, binning) for one bank — shared by every cell of a sweep."""
+    profile = RetentionProfiler(seed=seed).profile(BankGeometry(rows, cols))
+    binning = RefreshBinning().assign(profile)
+    return profile, binning
+
+
+@lru_cache(maxsize=16)
+def _trace(
+    frozen_tech: tuple,
+    rows: int,
+    cols: int,
+    benchmark: str,
+    seed: int,
+    duration_seconds: float,
+):
+    """One workload trace, built once per process and shared across policies."""
+    tech = _tech(frozen_tech)
+    timing = DRAMTiming.from_technology(tech)
+    spec = PARSEC_WORKLOADS[benchmark]
+    return TraceGenerator(spec, timing, BankGeometry(rows, cols), seed).generate(
+        duration_seconds
+    )
+
+
+def shared_build_cache_info() -> dict[str, Any]:
+    """Hit/miss counters of the per-process builders (for tests/diagnostics)."""
+    return {
+        "trace": _trace.cache_info()._asdict(),
+        "profile_binning": _profile_binning.cache_info()._asdict(),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Cell compute functions                                                 #
+# --------------------------------------------------------------------- #
+
+
+def _refresh_overhead_cell(params: Mapping[str, Any]) -> dict:
+    """Fastpath refresh statistics of one (policy, workload) pair.
+
+    Params: ``tech``, ``rows``, ``cols``, ``policy``, ``nbits``,
+    ``benchmark`` (``None`` = refresh-only), ``seed``,
+    ``duration_seconds``.
+    """
+    frozen = _freeze(params["tech"])
+    tech = _tech(frozen)
+    timing = DRAMTiming.from_technology(tech)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    profile, binning = _profile_binning(frozen, rows, cols, int(params["seed"]))
+    policy = build_policy(
+        params["policy"], tech, profile, binning, nbits=int(params["nbits"])
+    )
+    duration_cycles = timing.cycles(float(params["duration_seconds"]))
+    trace = (
+        _trace(frozen, rows, cols, params["benchmark"], int(params["seed"]),
+               float(params["duration_seconds"]))
+        if params.get("benchmark")
+        else None
+    )
+    stats = RefreshOverheadEvaluator(policy, timing).evaluate(duration_cycles, trace)
+    return {
+        "full_refreshes": stats.full_refreshes,
+        "partial_refreshes": stats.partial_refreshes,
+        "refresh_cycles": stats.refresh_cycles,
+        "duration_cycles": stats.duration_cycles,
+    }
+
+
+def _engine_run_cell(params: Mapping[str, Any]) -> dict:
+    """Cycle-level engine run of one (policy, workload) pair.
+
+    Same params as ``refresh-overhead``; returns both refresh and
+    demand-request statistics.
+    """
+    frozen = _freeze(params["tech"])
+    tech = _tech(frozen)
+    timing = DRAMTiming.from_technology(tech)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    profile, binning = _profile_binning(frozen, rows, cols, int(params["seed"]))
+    policy = build_policy(
+        params["policy"], tech, profile, binning, nbits=int(params["nbits"])
+    )
+    duration_cycles = timing.cycles(float(params["duration_seconds"]))
+    trace = (
+        _trace(frozen, rows, cols, params["benchmark"], int(params["seed"]),
+               float(params["duration_seconds"]))
+        if params.get("benchmark")
+        else None
+    )
+    result = BankSimulator(policy, timing, BankGeometry(rows, cols)).run(
+        trace=trace, duration_cycles=duration_cycles
+    )
+    return {
+        "refresh": {
+            "full_refreshes": result.refresh.full_refreshes,
+            "partial_refreshes": result.refresh.partial_refreshes,
+            "refresh_cycles": result.refresh.refresh_cycles,
+            "duration_cycles": result.refresh.duration_cycles,
+        },
+        "requests": {
+            "n_requests": result.requests.n_requests,
+            "n_reads": result.requests.n_reads,
+            "n_writes": result.requests.n_writes,
+            "row_hits": result.requests.row_hits,
+            "total_latency_cycles": result.requests.total_latency_cycles,
+            "max_latency_cycles": result.requests.max_latency_cycles,
+            "refresh_stall_cycles": result.requests.refresh_stall_cycles,
+        },
+    }
+
+
+def _rank_mode_cell(params: Mapping[str, Any]) -> dict:
+    """One refresh mode of the rank-level study on an n-bank rank.
+
+    Params: ``tech``, ``rows``, ``cols``, ``n_banks``, ``mode`` (one of
+    ``all-bank``/``fixed``/``raidr``/``vrl``/``vrl-access``), ``seed``,
+    ``duration_seconds``.
+    """
+    frozen = _freeze(params["tech"])
+    tech = _tech(frozen)
+    timing = DRAMTiming.from_technology(tech)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    geometry = BankGeometry(rows, cols)
+    n_banks = int(params["n_banks"])
+    seed = int(params["seed"])
+    mode = params["mode"]
+    policy_name = "fixed" if mode == "all-bank" else mode
+    policies = []
+    for bank in range(n_banks):
+        profile, binning = _profile_binning(frozen, rows, cols, seed + bank)
+        policies.append(build_policy(policy_name, tech, profile, binning))
+    simulator = RankSimulator(
+        policies, timing, geometry, all_bank_refresh=(mode == "all-bank")
+    )
+    result = simulator.run(
+        duration_cycles=timing.cycles(float(params["duration_seconds"]))
+    )
+    return {
+        "total_refresh_cycles": result.total_refresh_cycles,
+        "refresh_overhead": result.refresh_overhead,
+        "blocked_fraction": result.blocked_fraction,
+    }
+
+
+def _baseline_mechanism_cell(params: Mapping[str, Any]) -> dict:
+    """One refresh mechanism of the baseline comparison.
+
+    Params: ``tech``, ``rows``, ``cols``, ``mechanism`` (policy name or
+    ``fgr-2x``/``fgr-4x``), ``benchmark`` (optional), ``seed``,
+    ``duration_seconds``.
+    """
+    frozen = _freeze(params["tech"])
+    tech = _tech(frozen)
+    timing = DRAMTiming.from_technology(tech)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    profile, binning = _profile_binning(frozen, rows, cols, int(params["seed"]))
+    mechanism = params["mechanism"]
+    fixed = build_policy("fixed", tech, profile, binning)
+    if mechanism.startswith("fgr-"):
+        mode = int(mechanism[len("fgr-"):-1])
+        policy = FGRPolicy(rows, fixed.tau_full, mode=mode)
+        longest_op = policy.tau_op
+    else:
+        name = "fixed" if mechanism == "fixed-64ms" else mechanism
+        policy = fixed if name == "fixed" else build_policy(name, tech, profile, binning)
+        longest_op = getattr(policy, "tau_full", fixed.tau_full)
+    duration_cycles = timing.cycles(float(params["duration_seconds"]))
+    trace = (
+        _trace(frozen, rows, cols, params["benchmark"], int(params["seed"]),
+               float(params["duration_seconds"]))
+        if params.get("benchmark")
+        else None
+    )
+    stats = RefreshOverheadEvaluator(policy, timing).evaluate(duration_cycles, trace)
+    return {
+        "name": policy.name,
+        "refresh_cycles": stats.refresh_cycles,
+        "longest_op_cycles": int(longest_op),
+    }
+
+
+def _temperature_point_cell(params: Mapping[str, Any]) -> dict:
+    """One operating-temperature point of the temperature study.
+
+    Params: ``tech``, ``rows``, ``cols``, ``temperature`` (degC),
+    ``seed``.
+    """
+    frozen = _freeze(params["tech"])
+    tech = _tech(frozen)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    geometry = BankGeometry(rows, cols)
+    base_profile, _ = _profile_binning(frozen, rows, cols, int(params["seed"]))
+    model = TemperatureModel()
+    temperature = float(params["temperature"])
+    profile = model.scale_profile(base_profile, temperature)
+    binning = RefreshBinning().assign(profile)
+    optimizer = TauPartialOptimizer(tech, geometry)
+    evaluation = optimizer.evaluate(profile, binning, tech.partial_restore_fraction)
+    raidr = optimizer.raidr_overhead(
+        binning.row_period, optimizer.model.full_refresh().total_cycles
+    )
+    return {
+        "retention_factor": model.retention_factor(temperature),
+        "weak_rows": int((profile.row_retention < 128 * MS).sum()),
+        "raidr_cycles_per_second": raidr,
+        "overhead_vs_raidr": evaluation.overhead_vs_raidr,
+        "mean_mprsf": evaluation.mean_mprsf,
+    }
+
+
+#: Registry of cell kinds to their compute functions.
+CELL_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
+    "refresh-overhead": _refresh_overhead_cell,
+    "engine-run": _engine_run_cell,
+    "rank-mode": _rank_mode_cell,
+    "baseline-mechanism": _baseline_mechanism_cell,
+    "temperature-point": _temperature_point_cell,
+}
+
+
+def compute_cell(kind: str, params: Mapping[str, Any]) -> dict:
+    """Run one cell's compute function and return its payload."""
+    try:
+        fn = CELL_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown cell kind {kind!r}; registered: {sorted(CELL_KINDS)}"
+        ) from None
+    return fn(params)

@@ -1,0 +1,264 @@
+"""Process-pool experiment executor with cache-aware scheduling.
+
+:class:`ExperimentRunner` takes a list of independent sweep
+:class:`~repro.runner.cells.Cell` recipes and produces their payloads:
+
+1. every cell's cache key is computed and the on-disk
+   :class:`~repro.runner.cache.ResultCache` (if any) is consulted;
+2. the misses are computed — inline for ``jobs <= 1`` (bit-identical to
+   the historical serial drivers), or fanned out over a
+   ``ProcessPoolExecutor`` otherwise;
+3. fresh results are written back to the cache, and a
+   :class:`RunReport` collects per-cell wall time, hit/miss counters,
+   and worker utilization — surfaced in ``ExperimentResult.notes`` and
+   persisted as a ``runs/<timestamp>.json`` manifest.
+
+Determinism: cells are self-contained recipes, so the payloads do not
+depend on ``jobs`` or on cache state; the report's ordering always
+matches the input cell order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from .cache import ResultCache, cache_key
+from .cells import Cell, compute_cell
+from .manifest import write_manifest
+
+
+def _compute_timed(kind: str, params: dict) -> tuple[dict, float, str]:
+    """Worker entry point: payload, wall seconds, and worker id (pid)."""
+    t0 = time.perf_counter()
+    payload = compute_cell(kind, params)
+    return payload, time.perf_counter() - t0, str(os.getpid())
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell during a run."""
+
+    label: str
+    kind: str
+    key: str
+    payload: dict
+    wall_seconds: float
+    cache_hit: bool
+    worker: str
+
+    def manifest_entry(self) -> dict:
+        """The cell's row in the run manifest (payload omitted for size)."""
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "key": self.key,
+            "cache_hit": self.cache_hit,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of one runner invocation.
+
+    ``outcomes`` is ordered like the input cells; ``results`` exposes
+    just the payloads in the same order.
+    """
+
+    experiment: str
+    jobs: int
+    outcomes: list[CellOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    started_at: str = ""
+    cache_dir: Optional[str] = None
+    manifest_path: Optional[Path] = None
+
+    @property
+    def results(self) -> list[dict]:
+        """Cell payloads in input order."""
+        return [outcome.payload for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of cells served from the result cache."""
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """Number of cells that had to be computed."""
+        return len(self.outcomes) - self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from cache (0 with no cells)."""
+        return self.cache_hits / len(self.outcomes) if self.outcomes else 0.0
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total compute time across workers (cache hits cost ~nothing)."""
+        return sum(o.wall_seconds for o in self.outcomes if not o.cache_hit)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy time / (wall time x workers); 0 when nothing was computed."""
+        if self.elapsed_seconds <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.elapsed_seconds * self.jobs))
+
+    def notes(self) -> dict[str, Any]:
+        """Observability key/values for ``ExperimentResult.notes``."""
+        slowest = max(self.outcomes, key=lambda o: o.wall_seconds, default=None)
+        notes: dict[str, Any] = {
+            "runner": (
+                f"{len(self.outcomes)} cells, jobs={self.jobs}, "
+                f"{self.cache_hits} cached / {self.cache_misses} computed, "
+                f"{self.elapsed_seconds:.2f}s wall, "
+                f"utilization {100 * self.worker_utilization:.0f}%"
+            ),
+        }
+        if slowest is not None:
+            notes["runner slowest cell"] = (
+                f"{slowest.label or slowest.kind} ({slowest.wall_seconds:.2f}s)"
+            )
+        if self.manifest_path is not None:
+            notes["runner manifest"] = str(self.manifest_path)
+        return notes
+
+    def manifest_record(self) -> dict:
+        """The full run record persisted by :func:`write_manifest`."""
+        from .. import __version__
+
+        return {
+            "experiment": self.experiment,
+            "version": __version__,
+            "started_at": self.started_at,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "jobs": self.jobs,
+            "cells": [o.manifest_entry() for o in self.outcomes],
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "dir": self.cache_dir,
+            },
+            "workers": {
+                "jobs": self.jobs,
+                "busy_seconds": round(self.busy_seconds, 6),
+                "utilization": round(self.worker_utilization, 4),
+            },
+        }
+
+
+class ExperimentRunner:
+    """Cache-backed, optionally parallel executor for sweep cells.
+
+    Args:
+        jobs: worker processes; ``<= 1`` computes inline in this
+            process, ``0`` means one per CPU.
+        cache: result cache, or ``None`` to always recompute.
+        runs_dir: directory for ``<timestamp>.json`` run manifests, or
+            ``None`` to skip writing them.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        runs_dir: Optional[Union[str, Path]] = None,
+    ):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        self.cache = cache
+        self.runs_dir = Path(runs_dir) if runs_dir is not None else None
+
+    def run(self, cells: Sequence[Cell], experiment: str = "") -> RunReport:
+        """Execute every cell (cache first, then compute) and report.
+
+        Payloads are returned in input order regardless of completion
+        order, and are identical for any ``jobs``/cache configuration.
+        """
+        from datetime import datetime, timezone
+
+        started = datetime.now(timezone.utc).isoformat()
+        t0 = time.perf_counter()
+        report = RunReport(
+            experiment=experiment,
+            jobs=self.jobs,
+            started_at=started,
+            cache_dir=str(self.cache.directory) if self.cache is not None else None,
+        )
+
+        keys = [cache_key(cell.kind, cell.params) for cell in cells]
+        outcomes: list[Optional[CellOutcome]] = [None] * len(cells)
+        misses: list[int] = []
+        for index, (cell, key) in enumerate(zip(cells, keys)):
+            t_cell = time.perf_counter()
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                outcomes[index] = CellOutcome(
+                    label=cell.label,
+                    kind=cell.kind,
+                    key=key,
+                    payload=payload,
+                    wall_seconds=time.perf_counter() - t_cell,
+                    cache_hit=True,
+                    worker="cache",
+                )
+            else:
+                misses.append(index)
+
+        if misses:
+            self._compute_misses(cells, keys, misses, outcomes)
+
+        report.outcomes = [o for o in outcomes if o is not None]
+        report.elapsed_seconds = time.perf_counter() - t0
+        if self.runs_dir is not None:
+            report.manifest_path = write_manifest(
+                self.runs_dir, report.manifest_record()
+            )
+        return report
+
+    def _compute_misses(
+        self,
+        cells: Sequence[Cell],
+        keys: Sequence[str],
+        misses: Sequence[int],
+        outcomes: list[Optional[CellOutcome]],
+    ) -> None:
+        """Compute the cache misses, inline or across the process pool."""
+        if self.jobs <= 1 or len(misses) == 1:
+            computed = [
+                _compute_timed(cells[i].kind, dict(cells[i].params)) for i in misses
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(misses))) as pool:
+                futures = [
+                    pool.submit(_compute_timed, cells[i].kind, dict(cells[i].params))
+                    for i in misses
+                ]
+                computed = [future.result() for future in futures]
+
+        for index, (payload, wall, worker) in zip(misses, computed):
+            cell = cells[index]
+            outcomes[index] = CellOutcome(
+                label=cell.label,
+                kind=cell.kind,
+                key=keys[index],
+                payload=payload,
+                wall_seconds=wall,
+                cache_hit=False,
+                worker=worker,
+            )
+            if self.cache is not None:
+                self.cache.put(
+                    keys[index],
+                    payload,
+                    meta={"label": cell.label, "kind": cell.kind},
+                )

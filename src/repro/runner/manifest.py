@@ -1,0 +1,76 @@
+"""Run manifests: one JSON observability record per runner invocation.
+
+Every :class:`~repro.runner.executor.ExperimentRunner` run can persist a
+manifest to ``<runs_dir>/<timestamp>.json`` capturing what was computed,
+what came from cache, and how the workers were used:
+
+```json
+{
+  "schema": 1,
+  "experiment": "fig4",
+  "version": "1.0.0",
+  "started_at": "2026-08-06T12:00:00.123456+00:00",
+  "elapsed_seconds": 1.94,
+  "jobs": 4,
+  "cells": [
+    {"label": "vrl/canneal", "kind": "refresh-overhead",
+     "key": "6a9c…", "cache_hit": false, "wall_seconds": 0.41,
+     "worker": "12345"},
+    ...
+  ],
+  "cache": {"hits": 0, "misses": 36, "hit_rate": 0.0, "dir": "…"},
+  "workers": {"jobs": 4, "busy_seconds": 6.1, "utilization": 0.79}
+}
+```
+
+The file doubles as the machine-readable audit trail for the golden /
+equivalence tests: a warm re-run of an unchanged sweep must show a
+``hit_rate`` above 0.9.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+#: Bumped when the manifest layout changes.
+MANIFEST_SCHEMA = 1
+
+
+def write_manifest(runs_dir: Union[str, Path], record: Mapping[str, Any]) -> Path:
+    """Write one run record as ``<runs_dir>/<timestamp>.json``.
+
+    The filename is the run's UTC start time (microsecond precision); a
+    numeric suffix disambiguates in the unlikely event of a collision.
+    """
+    runs_dir = Path(runs_dir)
+    runs_dir.mkdir(parents=True, exist_ok=True)
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S.%f")
+    path = runs_dir / f"{stamp}.json"
+    suffix = 0
+    while path.exists():
+        suffix += 1
+        path = runs_dir / f"{stamp}-{suffix}.json"
+    path.write_text(json.dumps({"schema": MANIFEST_SCHEMA, **record}, indent=2))
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> dict:
+    """Parse a manifest file back into a dict (schema-checked)."""
+    record = json.loads(Path(path).read_text())
+    if record.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported manifest schema {record.get('schema')!r}"
+        )
+    return record
+
+
+def latest_manifest(runs_dir: Union[str, Path]) -> Path:
+    """The newest manifest in ``runs_dir`` (by filename, i.e. timestamp)."""
+    runs_dir = Path(runs_dir)
+    candidates = sorted(runs_dir.glob("*.json"))
+    if not candidates:
+        raise FileNotFoundError(f"no manifests in {runs_dir}")
+    return candidates[-1]

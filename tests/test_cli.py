@@ -1,8 +1,19 @@
 """Tests for the vrl-dram command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.experiments.cli import build_parser, main
+from repro.experiments.cli import build_parser, default_cache_dir, main
+from repro.runner import latest_manifest, load_manifest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_cli(tmp_path, monkeypatch):
+    """Keep CLI side effects (cache, run manifests) inside tmp_path."""
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("VRL_DRAM_CACHE", str(tmp_path / "cache"))
 
 
 class TestParser:
@@ -31,6 +42,27 @@ class TestParser:
 
     def test_all_is_valid(self):
         assert build_parser().parse_args(["all"]).experiment == "all"
+
+    def test_runner_flag_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+        assert args.runs_dir == "runs"
+
+    def test_runner_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig4", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache",
+             "--runs-dir", "/tmp/r"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+        assert args.runs_dir == "/tmp/r"
+
+    def test_default_cache_dir_honours_env(self, monkeypatch):
+        monkeypatch.setenv("VRL_DRAM_CACHE", "/tmp/elsewhere")
+        assert default_cache_dir() == Path("/tmp/elsewhere")
 
 
 class TestMain:
@@ -84,3 +116,57 @@ class TestExtensionWiring:
     def test_bins_runs(self, capsys):
         assert main(["ablation-bins"]) == 0
         assert "ABL-BINS" in capsys.readouterr().out
+
+
+class TestRunnerFlags:
+    """--jobs / --cache-dir / --no-cache drive the sweep experiments."""
+
+    FIG4 = ["fig4", "--duration", "0.05", "--benchmarks", "swaptions", "canneal"]
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(self.FIG4 + ["--jobs", "-1"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_parallel_output_identical_to_serial(self, tmp_path, capsys):
+        assert main(self.FIG4 + ["--no-cache", "--runs-dir", ""]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.FIG4 + ["--jobs", "2", "--no-cache", "--runs-dir", ""]) == 0
+        parallel = capsys.readouterr().out
+        # Everything except the runner telemetry lines must match exactly.
+        strip = lambda out: [
+            line for line in out.splitlines()
+            if not line.startswith(("runner", "[fig4 completed"))
+        ]
+        assert strip(serial) == strip(parallel)
+
+    def test_manifest_written_and_cache_warms(self, tmp_path, capsys):
+        cache = tmp_path / "cli-cache"
+        runs = tmp_path / "cli-runs"
+        flags = ["--cache-dir", str(cache), "--runs-dir", str(runs)]
+        assert main(self.FIG4 + flags) == 0
+        cold = load_manifest(latest_manifest(runs))
+        assert cold["cache"]["misses"] == 6
+        assert cold["experiment"] == "fig4"
+        capsys.readouterr()
+
+        assert main(self.FIG4 + flags) == 0
+        warm = load_manifest(latest_manifest(runs))
+        assert warm["cache"]["hit_rate"] > 0.9
+        assert warm["elapsed_seconds"] < cold["elapsed_seconds"]
+        assert "runner" in capsys.readouterr().out
+
+    def test_no_cache_never_writes(self, tmp_path, capsys):
+        cache = tmp_path / "untouched"
+        args = self.FIG4 + ["--cache-dir", str(cache), "--no-cache", "--runs-dir", ""]
+        assert main(args) == 0
+        assert not cache.exists()
+
+    def test_runs_dir_default_and_disable(self, capsys):
+        assert main(["temperature", "--runs-dir", ""]) == 0
+        assert not Path("runs").exists()
+        assert main(["temperature"]) == 0
+        manifest = load_manifest(latest_manifest("runs"))
+        assert manifest["experiment"] == "temperature"
+        assert [cell["kind"] for cell in manifest["cells"]] == [
+            "temperature-point"
+        ] * 5

@@ -1,0 +1,72 @@
+"""Golden regression tests: short fixed-seed runs vs checked-in CSVs.
+
+These pin the *numbers* of the two headline artifacts (Fig. 4 and
+Table 1) so that runner/cache/executor refactors cannot silently change
+results: any legitimate change to the physics or policies must come
+with a conscious regeneration of the goldens.
+
+Regenerate (after verifying the change is intended) with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only deterministic columns are pinned — wall-clock columns and runner
+telemetry notes are excluded.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_fig4, run_table1
+from repro.runner import ExperimentRunner, ResultCache
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Fixed recipe of the pinned Fig. 4 run (mirrored in regenerate.py).
+FIG4_RECIPE = dict(
+    duration_seconds=0.2,
+    benchmarks=["swaptions", "canneal", "freqmine"],
+    nbits=2,
+    seed=2018,
+)
+
+#: Deterministic Table 1 columns (wall-clock columns excluded).
+TABLE1_COLUMNS = ("bank size", "single cell", "our model", "paper (S/C/M)")
+
+
+def golden_rows(result, columns=None):
+    """The comparable CSV lines of a result (headers + selected columns)."""
+    headers = list(result.headers)
+    indices = (
+        [headers.index(c) for c in columns] if columns else list(range(len(headers)))
+    )
+    lines = [",".join(headers[i] for i in indices)]
+    for row in result.rows:
+        lines.append(",".join(result._fmt(row[i]) for i in indices))
+    return lines
+
+
+def read_golden(name):
+    path = GOLDEN_DIR / name
+    assert path.is_file(), f"golden file {path} missing — run regenerate.py"
+    return path.read_text().strip().splitlines()
+
+
+class TestFig4Golden:
+    def test_matches_golden(self):
+        result = run_fig4(**FIG4_RECIPE)
+        assert golden_rows(result) == read_golden("fig4_short.csv")
+
+    def test_matches_golden_through_runner(self, tmp_path):
+        """The parallel cached path reproduces the same pinned numbers —
+        cold and warm."""
+        for _ in range(2):
+            runner = ExperimentRunner(jobs=2, cache=ResultCache(tmp_path))
+            result = run_fig4(**FIG4_RECIPE, runner=runner)
+            assert golden_rows(result) == read_golden("fig4_short.csv")
+
+
+class TestTable1Golden:
+    def test_model_columns_match_golden(self):
+        result = run_table1(with_spice=False)
+        assert golden_rows(result, TABLE1_COLUMNS) == read_golden("table1_model.csv")

@@ -1,0 +1,151 @@
+"""Cache correctness: hits equal cold runs, keys invalidate, corruption heals.
+
+The three properties the result cache must uphold:
+
+1. a cache hit returns a payload equal to what a cold computation
+   produces;
+2. changing *any* component of the recipe — seed, duration, policy
+   ``nbits``, package version — changes the key, so stale entries are
+   never returned;
+3. corrupted cache files (truncated, not JSON, wrong schema, swapped
+   between keys) are detected, discarded, and recomputed — never
+   crashed on and never served.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    Cell,
+    ExperimentRunner,
+    ResultCache,
+    cache_key,
+    tech_params,
+)
+from repro.technology import DEFAULT_TECH
+
+TECH = tech_params(DEFAULT_TECH)
+
+
+def _cell(seed=11, duration=0.2, nbits=2, policy="vrl", benchmark=None):
+    return Cell(
+        "refresh-overhead",
+        {
+            "tech": TECH,
+            "rows": 64,
+            "cols": 8,
+            "policy": policy,
+            "nbits": nbits,
+            "benchmark": benchmark,
+            "seed": seed,
+            "duration_seconds": duration,
+        },
+        label=f"{policy}/s{seed}",
+    )
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        cell = _cell()
+        assert cache_key(cell.kind, cell.params) == cache_key(cell.kind, cell.params)
+
+    def test_key_order_irrelevant(self):
+        params = dict(_cell().params)
+        reordered = dict(reversed(list(params.items())))
+        assert cache_key("refresh-overhead", params) == cache_key(
+            "refresh-overhead", reordered
+        )
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            _cell(seed=12),
+            _cell(duration=0.3),
+            _cell(nbits=3),
+            _cell(policy="raidr"),
+            _cell(benchmark="canneal"),
+        ],
+    )
+    def test_any_param_change_changes_key(self, variant):
+        base = _cell()
+        assert cache_key(base.kind, base.params) != cache_key(
+            variant.kind, variant.params
+        )
+
+    def test_version_is_part_of_key(self):
+        cell = _cell()
+        assert cache_key(cell.kind, cell.params, version="1.0.0") != cache_key(
+            cell.kind, cell.params, version="1.0.1"
+        )
+
+    def test_kind_is_part_of_key(self):
+        cell = _cell()
+        assert cache_key("refresh-overhead", cell.params) != cache_key(
+            "engine-run", cell.params
+        )
+
+
+class TestCacheHitEqualsColdRun:
+    def test_warm_payload_identical(self, tmp_path):
+        cell = _cell()
+        cold = ExperimentRunner(cache=ResultCache(tmp_path)).run([cell])
+        assert cold.cache_misses == 1
+        warm = ExperimentRunner(cache=ResultCache(tmp_path)).run([cell])
+        assert warm.cache_hits == 1
+        uncached = ExperimentRunner().run([cell])
+        assert warm.results == cold.results == uncached.results
+
+    def test_key_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExperimentRunner(cache=cache).run([_cell()])
+        for changed in (_cell(seed=99), _cell(duration=0.25), _cell(nbits=1)):
+            report = ExperimentRunner(cache=cache).run([changed])
+            assert report.cache_misses == 1, f"{changed.label} unexpectedly hit"
+
+    def test_version_bump_invalidates(self, tmp_path):
+        cell = _cell()
+        cache = ResultCache(tmp_path)
+        old_key = cache_key(cell.kind, cell.params, version="0.9.0")
+        cache.put(old_key, {"stale": True})
+        report = ExperimentRunner(cache=cache).run([cell])
+        assert report.cache_misses == 1
+        assert "stale" not in report.results[0]
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"",                                 # truncated to nothing
+            b"{\"schema\": 1, \"key\":",          # cut mid-JSON
+            b"not json at all \x00\xff",          # binary junk
+            json.dumps({"schema": 999, "key": "x", "payload": {}}).encode(),
+            json.dumps([1, 2, 3]).encode(),       # wrong top-level type
+            json.dumps({"schema": 1, "key": "mismatch", "payload": {}}).encode(),
+        ],
+    )
+    def test_corrupt_entry_is_recomputed(self, tmp_path, garbage):
+        cell = _cell()
+        cache = ResultCache(tmp_path)
+        clean = ExperimentRunner(cache=cache).run([cell]).results
+        key = cache_key(cell.kind, cell.params)
+        cache.path_for(key).write_bytes(garbage)
+        report = ExperimentRunner(cache=cache).run([cell])
+        assert report.cache_misses == 1  # detected, not served
+        assert report.results == clean
+        # and the healthy entry was restored in place of the bad one
+        assert cache.get(key) == clean[0]
+
+    def test_get_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.get("0" * 64) is None
+        assert len(cache) == 0
+
+    def test_put_then_contains(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        cache.put(key, {"x": 1})
+        assert key in cache
+        assert cache.get(key) == {"x": 1}
+        assert len(cache) == 1
