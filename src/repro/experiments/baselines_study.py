@@ -79,7 +79,11 @@ def run_baseline_comparison(
 
     rows = []
     baseline_cycles = None
-    for payload in report.results:
+    dropped = []
+    for mechanism, payload in zip(BASELINE_MECHANISMS, report.results):
+        if payload is None:  # cell failed every attempt
+            dropped.append(mechanism)
+            continue
         if baseline_cycles is None:
             baseline_cycles = payload["refresh_cycles"]
         rows.append(
@@ -112,6 +116,11 @@ def run_baseline_comparison(
             "VRL trade-off": (
                 "truncation shortens most operations without adding any — the two "
                 "approaches are orthogonal and could compose"
+            ),
+            **(
+                {"mechanisms dropped (failed cells)": ", ".join(dropped)}
+                if dropped
+                else {}
             ),
         },
     ).merge_notes(report.notes())

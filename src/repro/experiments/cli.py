@@ -14,6 +14,19 @@ cells are cached on disk keyed by the full parameter set (see
 run writes an observability manifest to ``--runs-dir``.  A warm re-run
 only recomputes cells whose parameters (or the package version)
 changed.
+
+Fault tolerance: a failing cell no longer aborts the sweep — it is
+retried ``--retries`` times (exponential backoff), reaped by a watchdog
+after ``--cell-timeout`` seconds, and finally reported as a failed cell
+in the manifest while the rest of the grid completes.  Ctrl-C flushes a
+partial manifest; ``--resume <manifest>`` picks the run back up,
+recomputing only the unfinished cells.  ``--chaos`` arms the
+deterministic fault-injection harness (see :mod:`repro.runner.faults`)
+to rehearse exactly these failure modes::
+
+    vrl-dram fig4 --jobs 4 --retries 2 --cell-timeout 600
+    vrl-dram fig4 --resume runs/20260806T120000.123456.json
+    vrl-dram fig4 --jobs 4 --chaos "kill@3,raise@7" --retries 1
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ import time
 from pathlib import Path
 from typing import Callable, Optional
 
-from ..runner import ExperimentRunner, ResultCache
+from ..runner import ExperimentRunner, ResultCache, latest_manifest, parse_faults
 
 from . import (
     run_baseline_comparison,
@@ -67,7 +80,15 @@ def _runner_for(args: argparse.Namespace) -> ExperimentRunner:
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return ExperimentRunner(jobs=args.jobs, cache=cache, runs_dir=args.runs_dir)
+    return ExperimentRunner(
+        jobs=args.jobs,
+        cache=cache,
+        runs_dir=args.runs_dir,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        resume_from=args.resume,
+        faults=args.chaos,
+    )
 
 
 def _experiments() -> dict[str, Callable[[argparse.Namespace], ExperimentResult]]:
@@ -173,33 +194,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="where sweep runs write their <timestamp>.json manifest "
         "('' disables)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per failing sweep cell (exponential backoff)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a stuck worker is killed and the "
+        "cell retried (requires --jobs >= 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        default=None,
+        help="resume an interrupted sweep from its run manifest (or "
+        ".checkpoint.jsonl), recomputing only the unfinished cells",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="arm deterministic fault injection, e.g. 'raise@2,kill@0' "
+        "(action@cell[:attempt|*][=seconds]; also via $VRL_DRAM_FAULTS)",
+    )
     parser.set_defaults(spice=True)
     return parser
+
+
+def _validate_args(args: argparse.Namespace) -> Optional[str]:
+    """One-line error for nonsensical flag values, or ``None`` if sane."""
+    if args.jobs < 0:
+        return f"--jobs must be >= 0, got {args.jobs}"
+    if args.retries < 0:
+        return f"--retries must be >= 0, got {args.retries}"
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        return f"--cell-timeout must be > 0 seconds, got {args.cell_timeout:g}"
+    if args.resume is not None and not Path(args.resume).exists():
+        return f"--resume manifest {args.resume} does not exist"
+    if args.chaos is not None:
+        try:
+            parse_faults(args.chaos)
+        except ValueError as exc:
+            return f"--chaos: {exc}"
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run one (or all) experiments and print the result tables."""
     args = build_parser().parse_args(argv)
-    if args.jobs < 0:
-        print(f"error: --jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+    problem = _validate_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
     if not args.runs_dir:
         args.runs_dir = None
     args.runner = _runner_for(args)
     table = _experiments()
     names = sorted(table) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        t0 = time.perf_counter()
-        result = table[name](args)
-        elapsed = time.perf_counter() - t0
-        print(result.format())
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
-        if args.csv:
-            from pathlib import Path
-
-            directory = Path(args.csv)
-            directory.mkdir(parents=True, exist_ok=True)
-            result.to_csv(directory / f"{name}.csv")
+    try:
+        for name in names:
+            t0 = time.perf_counter()
+            result = table[name](args)
+            elapsed = time.perf_counter() - t0
+            print(result.format())
+            print(f"[{name} completed in {elapsed:.1f}s]\n")
+            if args.csv:
+                directory = Path(args.csv)
+                directory.mkdir(parents=True, exist_ok=True)
+                result.to_csv(directory / f"{name}.csv")
+    except KeyboardInterrupt:
+        hint = ""
+        if args.runs_dir is not None:
+            try:
+                hint = f"; resume with: --resume {latest_manifest(args.runs_dir)}"
+            except (FileNotFoundError, OSError):
+                pass
+        print(f"\ninterrupted{hint}", file=sys.stderr)
+        return 130
     return 0
 
 

@@ -83,11 +83,20 @@ def run_fig4(
     stats = {
         pair: RefreshStats(**payload)
         for pair, payload in zip(grid, report.results)
+        if payload is not None  # failed cells carry no payload
     }
 
+    # A benchmark's row needs all three policies (RAIDR is the
+    # normalization base); benchmarks that lost a cell are dropped and
+    # reported in the notes rather than aborting the sweep.
+    complete_names = [
+        bench
+        for bench in names
+        if all((policy, bench) in stats for policy in FIG4_POLICIES)
+    ]
     rows = []
     normalized: dict[str, list[float]] = {p: [] for p in FIG4_POLICIES}
-    for bench in names:
+    for bench in complete_names:
         base = stats[("raidr", bench)].refresh_cycles
         values = []
         for policy_name in FIG4_POLICIES:
@@ -96,23 +105,27 @@ def run_fig4(
             values.append(f"{ratio:.3f}")
         rows.append((bench, *values))
 
-    means = {p: float(np.mean(normalized[p])) for p in FIG4_POLICIES}
-    rows.append(("MEAN", *(f"{means[p]:.3f}" for p in FIG4_POLICIES)))
+    notes = {}
+    if complete_names:
+        means = {p: float(np.mean(normalized[p])) for p in FIG4_POLICIES}
+        rows.append(("MEAN", *(f"{means[p]:.3f}" for p in FIG4_POLICIES)))
+        notes = {
+            "VRL reduction vs RAIDR": f"{100 * (1 - means['vrl']):.1f}% (paper: 23%)",
+            "VRL-Access reduction vs RAIDR": f"{100 * (1 - means['vrl-access']):.1f}% (paper: 34%)",
+            "VRL-Access reduction vs VRL": (
+                f"{100 * (1 - means['vrl-access'] / means['vrl']):.1f}% (paper: 13%)"
+            ),
+        }
+    dropped = [bench for bench in names if bench not in complete_names]
+    if dropped:
+        notes["benchmarks dropped (failed cells)"] = ", ".join(dropped)
 
-    notes = {
-        "VRL reduction vs RAIDR": f"{100 * (1 - means['vrl']):.1f}% (paper: 23%)",
-        "VRL-Access reduction vs RAIDR": f"{100 * (1 - means['vrl-access']):.1f}% (paper: 34%)",
-        "VRL-Access reduction vs VRL": (
-            f"{100 * (1 - means['vrl-access'] / means['vrl']):.1f}% (paper: 13%)"
-        ),
-    }
-
-    if include_power:
+    if include_power and complete_names:
         model = RefreshLatencyModel(tech, geometry)
         power = RefreshPowerModel(tech, geometry)
         full, partial = model.full_refresh(), model.partial_refresh()
         ratios = []
-        for bench in names:
+        for bench in complete_names:
             p_raidr = power.refresh_power(stats[("raidr", bench)], full, partial)
             p_vrl = power.refresh_power(stats[("vrl", bench)], full, partial)
             ratios.append(p_vrl / p_raidr)

@@ -80,11 +80,20 @@ def run_performance_study(
     outcomes = {
         pair: (RefreshStats(**payload["refresh"]), RequestStats(**payload["requests"]))
         for pair, payload in zip(grid, report.results)
+        if payload is not None  # failed cells carry no payload
     }
 
+    # Latencies are normalized to the fixed policy per benchmark, so a
+    # benchmark missing any policy cell is dropped (noted below), not
+    # fatal to the rest of the study.
+    complete_names = [
+        bench
+        for bench in names
+        if all((bench, policy) in outcomes for policy in PERF_POLICIES)
+    ]
     rows = []
     stall_summary: dict[str, int] = {}
-    for bench in names:
+    for bench in complete_names:
         base_latency = None
         for policy_name in PERF_POLICIES:
             refresh, requests = outcomes[(bench, policy_name)]
@@ -109,7 +118,9 @@ def run_performance_study(
     notes = {
         "baseline": "latency normalized to the conventional fixed-64ms policy per benchmark",
         "total refresh-stall cycles": ", ".join(
-            f"{name}={stall_summary[name]}" for name in PERF_POLICIES
+            f"{name}={stall_summary[name]}"
+            for name in PERF_POLICIES
+            if name in stall_summary
         ),
         "reading": (
             "refresh overheads are sub-1% at this bank size, so mean-latency "
@@ -123,6 +134,9 @@ def run_performance_study(
             "traces despite stalling 4-7x more — compare stalls, not means"
         ),
     }
+    dropped = [bench for bench in names if bench not in complete_names]
+    if dropped:
+        notes["benchmarks dropped (failed cells)"] = ", ".join(dropped)
     return ExperimentResult(
         experiment_id="PERF",
         title="Request-latency impact of refresh policies (cycle-level engine)",

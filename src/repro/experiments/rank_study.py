@@ -69,7 +69,11 @@ def run_rank_comparison(
 
     rows = []
     baseline_cycles = None
+    dropped = []
     for mode, payload in zip(RANK_MODES, report.results):
+        if payload is None:  # cell failed every attempt
+            dropped.append(mode)
+            continue
         if baseline_cycles is None:
             baseline_cycles = payload["total_refresh_cycles"]
         rows.append(
@@ -106,6 +110,11 @@ def run_rank_comparison(
             "observation": (
                 "RAIDR cuts the refresh count ~4x, VRL shortens each remaining "
                 "operation, and both keep 7 of 8 banks available during refresh"
+            ),
+            **(
+                {"modes dropped (failed cells)": ", ".join(dropped)}
+                if dropped
+                else {}
             ),
         },
     ).merge_notes(report.notes())

@@ -61,7 +61,11 @@ def run_temperature_study(
 
     rows = []
     baseline_raidr = None
+    dropped = []
     for temperature, payload in zip(temperatures, report.results):
+        if payload is None:  # cell failed every attempt
+            dropped.append(f"{temperature:.0f} C")
+            continue
         if baseline_raidr is None:
             baseline_raidr = payload["raidr_cycles_per_second"]
         rows.append(
@@ -96,6 +100,11 @@ def run_temperature_study(
                 "so MPRSF collapses (0.72 -> ~1.0 of RAIDR by 55 C).  Extending "
                 "the bin set restores headroom — see the bins ablation "
                 "(vrl-dram ablation-bins)"
+            ),
+            **(
+                {"temperatures dropped (failed cells)": ", ".join(dropped)}
+                if dropped
+                else {}
             ),
         },
     ).merge_notes(report.notes())

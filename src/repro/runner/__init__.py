@@ -14,24 +14,58 @@ each).  This package runs such grids:
   executor fanning misses out over a process pool, reporting per-cell
   wall time, hit/miss counters and worker utilization in a
   :class:`~repro.runner.executor.RunReport`;
-* :mod:`~repro.runner.manifest` — ``runs/<timestamp>.json`` manifests.
+* :mod:`~repro.runner.manifest` — ``runs/<timestamp>.json`` manifests
+  plus ``.checkpoint.jsonl`` incremental checkpoints for resume;
+* :mod:`~repro.runner.errors` — the structured
+  :class:`~repro.runner.errors.CellError` failure taxonomy
+  (``exception`` / ``timeout`` / ``worker-crash``);
+* :mod:`~repro.runner.faults` — deterministic fault injection
+  (chaos mode) via ``VRL_DRAM_FAULTS`` / ``--chaos``.
 
-Guarantee: payloads are independent of ``jobs`` and cache state — the
-parallel cached run of a sweep is bit-identical to the serial cold run
-(asserted by ``tests/test_runner_executor.py``).
+Guarantees: payloads are independent of ``jobs``, cache state, retries,
+and pool respawns — the parallel cached run of a sweep is bit-identical
+to the serial cold run (asserted by ``tests/test_runner_executor.py``);
+and one failing cell never aborts the sweep — it surfaces as a failed
+:class:`~repro.runner.executor.CellOutcome` while every other payload
+completes (asserted by ``tests/test_runner_faults.py``).
 """
 
 from .cache import CACHE_SCHEMA, ResultCache, cache_key, canonical_json
 from .cells import CELL_KINDS, Cell, compute_cell, shared_build_cache_info, tech_params
+from .errors import ERROR_KINDS, CellError
 from .executor import CellOutcome, ExperimentRunner, RunReport
-from .manifest import MANIFEST_SCHEMA, latest_manifest, load_manifest, write_manifest
+from .faults import (
+    FAULT_ACTIONS,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    parse_faults,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    CheckpointWriter,
+    latest_manifest,
+    load_checkpoint,
+    load_manifest,
+    resolve_resume_source,
+    write_manifest,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
     "CELL_KINDS",
     "Cell",
+    "CellError",
     "CellOutcome",
+    "CheckpointWriter",
+    "ERROR_KINDS",
     "ExperimentRunner",
+    "FAULT_ACTIONS",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "MANIFEST_SCHEMA",
     "ResultCache",
     "RunReport",
@@ -39,7 +73,10 @@ __all__ = [
     "canonical_json",
     "compute_cell",
     "latest_manifest",
+    "load_checkpoint",
     "load_manifest",
+    "parse_faults",
+    "resolve_resume_source",
     "shared_build_cache_info",
     "tech_params",
     "write_manifest",

@@ -92,7 +92,14 @@ class ResultCache:
         return entry["payload"]
 
     def put(self, key: str, payload: dict, meta: Optional[Mapping[str, Any]] = None) -> Path:
-        """Store ``payload`` under ``key`` atomically; returns the path."""
+        """Store ``payload`` under ``key`` atomically; returns the path.
+
+        Crash-safe: the entry is serialized to a sibling ``.tmp`` file,
+        flushed and fsynced, then renamed over the destination with
+        ``os.replace`` — a worker killed mid-write can leave at most a
+        stray ``.tmp`` file, never a torn ``<key>.json`` (and a torn
+        entry would be healed by :meth:`get` regardless).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         entry = {
@@ -103,8 +110,17 @@ class ResultCache:
             "payload": payload,
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        os.replace(tmp, path)
+        try:
+            with tmp.open("w") as fh:
+                fh.write(json.dumps(entry, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
         return path
 
     def __contains__(self, key: str) -> bool:

@@ -9,31 +9,53 @@ what came from cache, and how the workers were used:
   "schema": 1,
   "experiment": "fig4",
   "version": "1.0.0",
+  "status": "complete",
   "started_at": "2026-08-06T12:00:00.123456+00:00",
   "elapsed_seconds": 1.94,
   "jobs": 4,
   "cells": [
     {"label": "vrl/canneal", "kind": "refresh-overhead",
-     "key": "6a9c…", "cache_hit": false, "wall_seconds": 0.41,
-     "worker": "12345"},
+     "key": "6a9c…", "status": "ok", "cache_hit": false,
+     "wall_seconds": 0.41, "worker": "12345", "attempts": 1},
     ...
   ],
+  "failures": [],
+  "checkpoint": "runs/20260806T120000.123456.checkpoint.jsonl",
   "cache": {"hits": 0, "misses": 36, "hit_rate": 0.0, "dir": "…"},
   "workers": {"jobs": 4, "busy_seconds": 6.1, "utilization": 0.79}
 }
 ```
 
+``status`` is ``"complete"`` for a run that processed every cell
+(failed cells included — they appear in ``failures`` with their
+structured :class:`~repro.runner.errors.CellError`), or
+``"interrupted"`` for a partial manifest flushed on SIGINT/SIGTERM.
+
 The file doubles as the machine-readable audit trail for the golden /
 equivalence tests: a warm re-run of an unchanged sweep must show a
 ``hit_rate`` above 0.9.
+
+## Checkpoints
+
+Alongside the end-of-run manifest, the runner streams an incremental
+checkpoint — one JSON line per completed cell, **payload included** —
+to ``<runs_dir>/<start-stamp>.checkpoint.jsonl`` (see
+:class:`CheckpointWriter`).  Because lines are flushed as cells finish,
+a crash or Ctrl-C loses at most the in-flight cells; a later run armed
+with ``ExperimentRunner(resume_from=...)`` / ``vrl-dram --resume``
+replays the checkpoint (:func:`load_checkpoint`) and recomputes only
+what is missing.  ``resolve_resume_source`` accepts either the manifest
+(following its ``checkpoint`` field) or the ``.jsonl`` file directly.
+A torn final line — the signature of a mid-write kill — is ignored.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Mapping, Union
+from typing import Any, Mapping, Optional, TextIO, Union
 
 #: Bumped when the manifest layout changes.
 MANIFEST_SCHEMA = 1
@@ -74,3 +96,108 @@ def latest_manifest(runs_dir: Union[str, Path]) -> Path:
     if not candidates:
         raise FileNotFoundError(f"no manifests in {runs_dir}")
     return candidates[-1]
+
+
+# --------------------------------------------------------------------- #
+# Incremental checkpoints                                                #
+# --------------------------------------------------------------------- #
+
+
+class CheckpointWriter:
+    """Streams completed cell outcomes to a ``.checkpoint.jsonl`` file.
+
+    One JSON object per line, flushed after every record, so a killed
+    run loses at most the cells that were still in flight.  The file is
+    opened lazily on the first record — a sweep served entirely from an
+    unwritable location never creates it.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = None
+        self.records = 0
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Persist one completed-cell record (flushed immediately)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(dict(record)) + "\n")
+        self._fh.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        """Fsync and close the checkpoint file (idempotent)."""
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError:  # pragma: no cover - fsync best effort
+                pass
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_checkpoint(path: Union[str, Path]) -> dict[str, dict]:
+    """Completed cells of a checkpoint, keyed by cache key.
+
+    Only successful records (``"status" == "ok"`` with a payload) are
+    returned — failed cells must be recomputed on resume.  Torn or
+    unparseable lines (a kill mid-write) are skipped, and a later record
+    for the same key wins, so re-running an interrupted run against the
+    same checkpoint file stays consistent.
+    """
+    completed: dict[str, dict] = {}
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("status") == "ok"
+                and isinstance(record.get("key"), str)
+                and "payload" in record
+            ):
+                completed[record["key"]] = record
+    return completed
+
+
+def resolve_resume_source(path: Union[str, Path]) -> Path:
+    """The checkpoint file behind ``path`` (manifest or checkpoint).
+
+    ``--resume`` accepts either the run manifest (whose ``checkpoint``
+    field names the jsonl file) or the ``.jsonl`` checkpoint itself.
+    Raises ``FileNotFoundError`` / ``ValueError`` with one-line messages
+    suitable for direct CLI display.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"resume source {path} does not exist")
+    if path.suffix == ".jsonl":
+        return path
+    record = load_manifest(path)
+    checkpoint = record.get("checkpoint")
+    if not checkpoint:
+        raise ValueError(
+            f"{path}: manifest has no checkpoint to resume from "
+            "(was the run started with a runs dir?)"
+        )
+    checkpoint_path = Path(checkpoint)
+    if not checkpoint_path.is_absolute():
+        checkpoint_path = path.parent / checkpoint_path.name
+    if not checkpoint_path.exists():
+        raise FileNotFoundError(
+            f"checkpoint {checkpoint_path} referenced by {path} does not exist"
+        )
+    return checkpoint_path

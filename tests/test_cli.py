@@ -170,3 +170,63 @@ class TestRunnerFlags:
         assert [cell["kind"] for cell in manifest["cells"]] == [
             "temperature-point"
         ] * 5
+
+
+class TestFaultToleranceFlags:
+    """--retries / --cell-timeout / --resume / --chaos validation and wiring."""
+
+    FIG4 = ["fig4", "--duration", "0.05", "--benchmarks", "swaptions", "canneal"]
+
+    def test_fault_flag_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.retries == 0
+        assert args.cell_timeout is None
+        assert args.resume is None
+        assert args.chaos is None
+
+    def test_negative_retries_rejected(self, capsys):
+        assert main(self.FIG4 + ["--retries", "-2"]) == 2
+        err = capsys.readouterr().err
+        assert "--retries" in err and len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_nonpositive_cell_timeout_rejected(self, value, capsys):
+        assert main(self.FIG4 + ["--cell-timeout", value]) == 2
+        err = capsys.readouterr().err
+        assert "--cell-timeout" in err and len(err.strip().splitlines()) == 1
+
+    def test_missing_resume_manifest_rejected(self, tmp_path, capsys):
+        assert main(self.FIG4 + ["--resume", str(tmp_path / "gone.json")]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and len(err.strip().splitlines()) == 1
+
+    def test_malformed_chaos_spec_rejected(self, capsys):
+        assert main(self.FIG4 + ["--chaos", "explode@1"]) == 2
+        err = capsys.readouterr().err
+        assert "--chaos" in err and len(err.strip().splitlines()) == 1
+
+    def test_chaos_run_reports_failures_and_completes(self, tmp_path, capsys):
+        runs = tmp_path / "chaos-runs"
+        args = self.FIG4 + [
+            "--no-cache", "--runs-dir", str(runs), "--chaos", "raise@0"
+        ]
+        assert main(args) == 0  # the sweep completes despite the fault
+        out = capsys.readouterr().out
+        assert "runner failures" in out
+        assert "benchmarks dropped (failed cells): swaptions" in out
+        manifest = load_manifest(latest_manifest(runs))
+        assert manifest["status"] == "complete"
+        assert len(manifest["failures"]) == 1
+
+    def test_chaos_with_retries_matches_clean_run(self, tmp_path, capsys):
+        clean_args = self.FIG4 + ["--no-cache", "--runs-dir", ""]
+        assert main(clean_args) == 0
+        clean = capsys.readouterr().out
+        chaos_args = clean_args + ["--chaos", "raise@3", "--retries", "1"]
+        assert main(chaos_args) == 0
+        chaotic = capsys.readouterr().out
+        strip = lambda out: [
+            line for line in out.splitlines()
+            if not line.startswith(("runner", "[fig4 completed"))
+        ]
+        assert strip(clean) == strip(chaotic)

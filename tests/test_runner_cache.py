@@ -149,3 +149,43 @@ class TestCorruptionRecovery:
         assert key in cache
         assert cache.get(key) == {"x": 1}
         assert len(cache) == 1
+
+
+class TestCrashSafePut:
+    """A kill mid-``put`` can never leave a torn entry behind.
+
+    ``put`` serializes to a ``.tmp`` sibling, fsyncs, then
+    ``os.replace``s into place — so the destination file is only ever
+    absent or complete.  These tests simulate the debris a mid-write
+    kill leaves (truncated destination from a pre-atomic writer, stray
+    temp files) and assert both are healed, not served or crashed on.
+    """
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("b" * 64, {"x": 2})
+        stray = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert stray == []
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "c" * 64
+        full = json.dumps(
+            {"schema": 1, "key": key, "version": "x", "meta": {}, "payload": {"v": 3}}
+        )
+        # Every strict prefix of a real entry (a torn write) must read
+        # as a miss, never as a partial payload or a crash.
+        for cut in (1, len(full) // 2, len(full) - 1):
+            cache.path_for(key).write_text(full[:cut])
+            assert cache.get(key) is None, f"prefix of {cut} bytes served"
+        cache.put(key, {"v": 3})
+        assert cache.get(key) == {"v": 3}
+
+    def test_stray_tmp_file_does_not_shadow_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "d" * 64
+        # Debris from a writer killed between open() and replace().
+        cache.path_for(key).with_suffix(".tmp.99999").write_text('{"half": ')
+        assert cache.get(key) is None
+        cache.put(key, {"v": 4})
+        assert cache.get(key) == {"v": 4}
