@@ -9,7 +9,14 @@ a hot spell, and resumes partial refreshes when it cools down.
 Shows the extension surface: subclass
 :class:`~repro.controller.refresh.VRLAccessPolicy`, override
 ``refresh_row``, and drop the policy into the standard simulator —
-nothing else changes.
+nothing else changes.  Overriding only the scalar ``refresh_row`` /
+``on_access`` is fully supported even though the simulators drive the
+batch kernel (``decide`` / ``on_access_rows``): the kernel detects
+scalar-only overrides and transparently falls back to looping them, so
+this policy runs unmodified through the vectorized
+:class:`~repro.sim.fastpath.RefreshOverheadEvaluator` below.  Policies
+that want the vectorized fast surface override ``_decide_batch`` /
+``_on_access_batch`` instead (see ``docs/architecture.md``).
 
 Run:  python examples/custom_policy.py
 """

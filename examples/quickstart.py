@@ -55,7 +55,7 @@ def main() -> None:
     base = RefreshOverheadEvaluator(raidr, timing).evaluate(duration, trace)
     ours = RefreshOverheadEvaluator(vrl_access, timing).evaluate(duration, trace)
 
-    print(f"canneal, 1 s simulated:")
+    print("canneal, 1 s simulated:")
     print(f"  RAIDR      refresh cycles: {base.refresh_cycles:>9}  "
           f"(overhead {100 * base.overhead:.2f}%)")
     print(f"  VRL-Access refresh cycles: {ours.refresh_cycles:>9}  "

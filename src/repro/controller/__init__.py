@@ -6,12 +6,16 @@ scheduling rule — full refresh when ``rcount == mprsf``, else partial.
 This package provides:
 
 * :mod:`~repro.controller.counters` — saturating counter files;
-* :mod:`~repro.controller.refresh` — the refresh scheduling policies:
-  conventional fixed-interval, RAIDR, VRL, and VRL-Access.
+* :mod:`~repro.controller.refresh` — the refresh scheduling policies
+  (conventional fixed-interval, RAIDR, VRL, and VRL-Access), each
+  exposing both the vectorized batch kernel (``decide`` /
+  ``on_access_rows``) and the scalar per-row interface.
 """
 
 from .counters import CounterFile, SaturatingCounter
 from .refresh import (
+    KIND_FULL,
+    KIND_PARTIAL,
     FGRPolicy,
     FixedRefreshPolicy,
     RAIDRPolicy,
@@ -26,6 +30,8 @@ from .refresh import (
 __all__ = [
     "CounterFile",
     "SaturatingCounter",
+    "KIND_FULL",
+    "KIND_PARTIAL",
     "FGRPolicy",
     "FixedRefreshPolicy",
     "RAIDRPolicy",

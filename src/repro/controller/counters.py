@@ -116,3 +116,25 @@ class CounterFile:
     def reset_all(self) -> None:
         """Clear every counter (e.g. at simulation start)."""
         self._values[:] = 0
+
+    # ------------------------------------------------------------------ #
+    # Batch operations (the policy kernel's access path)                  #
+    # ------------------------------------------------------------------ #
+
+    def get_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Values of the selected rows' counters as a fresh array."""
+        return self._values[rows].copy()
+
+    def increment_rows(self, rows: np.ndarray) -> None:
+        """Saturating increment of the selected rows' counters.
+
+        Duplicate indices are honored sequentially: a row listed ``k``
+        times is incremented ``k`` times (then saturated), exactly as
+        ``k`` scalar :meth:`increment` calls would leave it.
+        """
+        np.add.at(self._values, rows, 1)
+        np.minimum(self._values, self.max_value, out=self._values)
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Clear the selected rows' counters."""
+        self._values[rows] = 0

@@ -1,25 +1,39 @@
 """Refresh scheduling policies: conventional, RAIDR, VRL, VRL-Access.
 
-The policy interface is what the bank simulator drives:
+The policy interface is what the bank simulators drive.  It has two
+equivalent surfaces backed by one set of numpy counter arrays:
 
-* :meth:`RefreshPolicy.refresh_row` — the controller refreshes a row
-  *now*; the policy decides full vs partial and returns the resulting
-  :class:`RefreshCommand` (Algorithm 1 of the paper for the VRL
-  variants), updating its internal counters;
-* :meth:`RefreshPolicy.on_access` — a read/write activated the row;
-  VRL-Access exploits that the activation fully restored the row's
-  charge and resets its ``rcount``;
-* :meth:`RefreshPolicy.row_period` — the row's refresh period (64 ms
-  for the conventional baseline, the RAIDR bin period otherwise).
+* the **batch kernel** — :meth:`RefreshPolicy.decide` takes an array of
+  row indices and returns ``(kinds, latency_cycles)`` arrays (Algorithm
+  1 of the paper for the VRL variants, evaluated vectorized), and
+  :meth:`RefreshPolicy.on_access_rows` applies access-driven counter
+  resets to an array of rows.  The vectorized fastpath evaluates whole
+  banks through these;
+* the **scalar wrappers** — :meth:`RefreshPolicy.refresh_row` and
+  :meth:`RefreshPolicy.on_access` are thin single-row wrappers over the
+  kernel, kept for the cycle-level engine and for API compatibility;
+* :meth:`RefreshPolicy.row_period` / :meth:`RefreshPolicy.row_periods`
+  — the per-row refresh periods (64 ms for the conventional baseline,
+  the RAIDR bin period otherwise).
+
+Subclasses may customize either surface.  Built-in policies implement
+the vectorized ``_decide_batch`` / ``_on_access_batch`` hooks; a
+subclass that overrides only the scalar methods (see
+``examples/custom_policy.py``) still works everywhere — the batch
+entry points detect the scalar customization and fall back to a
+row-by-row loop, trading speed for fidelity.
 
 Policies are deliberately free of timing bookkeeping — they answer
-"what refresh does this row get", the simulator owns "when".
+"what refresh does this row get", :mod:`repro.sim.schedule` owns
+"when".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
+
 import numpy as np
 
 from ..model.trfc import RefreshLatencyModel
@@ -33,12 +47,39 @@ from .counters import CounterFile
 #: The JEDEC worst-case refresh period used by the conventional baseline.
 CONVENTIONAL_PERIOD = 64 * MS
 
+#: Kind code of a charge-complete refresh in the batch kernel's arrays.
+KIND_FULL = 0
+
+#: Kind code of a truncated (partial) refresh in the batch kernel's arrays.
+KIND_PARTIAL = 1
+
 
 class RefreshKind(Enum):
     """Whether a refresh operation is charge-complete or truncated."""
 
     FULL = "full"
     PARTIAL = "partial"
+
+
+#: Kind-code → enum mapping (index with ``KIND_FULL`` / ``KIND_PARTIAL``).
+_KIND_BY_CODE = (RefreshKind.FULL, RefreshKind.PARTIAL)
+
+
+@lru_cache(maxsize=None)
+def _scalar_customized(cls: type, scalar_name: str, batch_name: str) -> bool:
+    """Does ``cls`` override the scalar method below its batch hook?
+
+    True when the class defining ``scalar_name`` sits strictly deeper in
+    the MRO than the class defining ``batch_name`` — i.e. a subclass
+    customized the scalar path (``refresh_row`` / ``on_access``) without
+    providing the matching vectorized hook.  The batch entry points then
+    fall back to looping the scalar method so such subclasses keep their
+    semantics everywhere.
+    """
+    mro = cls.__mro__
+    scalar_depth = next(i for i, c in enumerate(mro) if scalar_name in vars(c))
+    batch_depth = next(i for i, c in enumerate(mro) if batch_name in vars(c))
+    return scalar_depth < batch_depth
 
 
 @dataclass(frozen=True)
@@ -65,6 +106,19 @@ class RefreshPolicy:
         self.n_rows = n_rows
         self.tau_full = tau_full
         self._period = period
+        self._kind_latencies = np.array([tau_full, tau_full], dtype=np.int64)
+
+    @property
+    def kind_latencies(self) -> np.ndarray:
+        """Per-kind latencies in cycles, indexed by kind code.
+
+        ``kind_latencies[KIND_FULL]`` is the full-refresh latency and
+        ``kind_latencies[KIND_PARTIAL]`` the partial-refresh latency
+        (equal to the full latency for policies that never truncate).
+        """
+        view = self._kind_latencies.view()
+        view.flags.writeable = False
+        return view
 
     def row_period(self, row: int) -> float:
         """Refresh period of ``row`` in seconds."""
@@ -72,17 +126,87 @@ class RefreshPolicy:
         return self._period
 
     def row_periods(self) -> np.ndarray:
-        """Vector of per-row refresh periods (seconds)."""
-        return np.full(self.n_rows, self._period)
+        """Vector of per-row refresh periods (seconds, ``dtype=float``)."""
+        return np.full(self.n_rows, self._period, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Batch kernel                                                        #
+    # ------------------------------------------------------------------ #
+
+    def decide(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Refresh every row in ``rows`` now, as one vectorized batch.
+
+        The batch equivalent of calling :meth:`refresh_row` once per
+        entry: counter state is updated in place and the decisions come
+        back as arrays.  Row indices must be unique within one call —
+        the deadline schedule guarantees this (a row has at most one
+        deadline per scheduling round); with duplicates the decisions
+        would be taken against one counter snapshot instead of
+        sequentially.
+
+        Args:
+            rows: 1-D array of row indices to refresh.
+
+        Returns:
+            ``(kinds, latency_cycles)`` — a ``uint8`` array of kind
+            codes (``KIND_FULL`` / ``KIND_PARTIAL``) and an ``int64``
+            array of per-row refresh latencies in cycles.
+        """
+        rows = self._check_rows(rows)
+        if _scalar_customized(type(self), "refresh_row", "_decide_batch"):
+            kinds = np.empty(len(rows), dtype=np.uint8)
+            latencies = np.empty(len(rows), dtype=np.int64)
+            for index, row in enumerate(rows):
+                command = self.refresh_row(int(row))
+                kinds[index] = (
+                    KIND_PARTIAL if command.kind is RefreshKind.PARTIAL else KIND_FULL
+                )
+                latencies[index] = command.latency_cycles
+            return kinds, latencies
+        return self._decide_batch(rows)
+
+    def on_access_rows(self, rows: np.ndarray) -> None:
+        """Notify the policy that every row in ``rows`` was activated.
+
+        The batch equivalent of calling :meth:`on_access` once per
+        entry.  Duplicates are harmless (an access-driven reset is
+        idempotent), but the fastpath passes each row at most once per
+        refresh interval.
+        """
+        rows = self._check_rows(rows)
+        if _scalar_customized(type(self), "on_access", "_on_access_batch"):
+            for row in rows:
+                self.on_access(int(row))
+            return
+        self._on_access_batch(rows)
+
+    def _decide_batch(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized decision hook: base policies issue only full refreshes."""
+        kinds = np.zeros(len(rows), dtype=np.uint8)
+        return kinds, self._kind_latencies[kinds]
+
+    def _on_access_batch(self, rows: np.ndarray) -> None:
+        """Vectorized access hook: base policies ignore accesses."""
+
+    # ------------------------------------------------------------------ #
+    # Scalar wrappers                                                     #
+    # ------------------------------------------------------------------ #
 
     def refresh_row(self, row: int) -> RefreshCommand:
-        """Refresh ``row`` now; returns the issued command."""
+        """Refresh ``row`` now; returns the issued command.
+
+        Thin single-row wrapper over the batch kernel; subclasses that
+        override it (instead of ``_decide_batch``) remain fully
+        supported through the kernel's scalar fallback.
+        """
         self._check_row(row)
-        return RefreshCommand(row, RefreshKind.FULL, self.tau_full)
+        kinds, latencies = self._decide_batch(np.array([row], dtype=np.int64))
+        return RefreshCommand(row, _KIND_BY_CODE[int(kinds[0])], int(latencies[0]))
 
     def on_access(self, row: int) -> None:
         """Notify the policy that ``row`` was activated by a read/write."""
         self._check_row(row)
+        self._on_access_batch(np.array([row], dtype=np.int64))
 
     def reset(self) -> None:
         """Clear mutable state (counters) for a fresh simulation."""
@@ -90,6 +214,14 @@ class RefreshPolicy:
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self.n_rows:
             raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+
+    def _check_rows(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError(f"rows must be a 1-D index array, got shape {rows.shape}")
+        if len(rows) and (int(rows.min()) < 0 or int(rows.max()) >= self.n_rows):
+            raise IndexError(f"row indices out of range [0, {self.n_rows})")
+        return rows
 
 
 class FixedRefreshPolicy(RefreshPolicy):
@@ -147,11 +279,8 @@ class FGRPolicy(RefreshPolicy):
 
         self.tau_op = max(1, math.ceil(tau_full * shrink**doublings))
         self.name = f"fgr-{mode}x"
-
-    def refresh_row(self, row: int) -> RefreshCommand:
-        """Every operation is a (shorter) full refresh at ``period/mode``."""
-        self._check_row(row)
-        return RefreshCommand(row, RefreshKind.FULL, self.tau_op)
+        # Every operation is a (shorter) full refresh at period/mode.
+        self._kind_latencies = np.array([self.tau_op, self.tau_op], dtype=np.int64)
 
 
 class RAIDRPolicy(RefreshPolicy):
@@ -173,7 +302,7 @@ class RAIDRPolicy(RefreshPolicy):
         return float(self.binning.row_period[row])
 
     def row_periods(self) -> np.ndarray:
-        return self.binning.row_period.copy()
+        return np.asarray(self.binning.row_period, dtype=float).copy()
 
 
 class VRLPolicy(RAIDRPolicy):
@@ -211,15 +340,15 @@ class VRLPolicy(RAIDRPolicy):
         self.nbits = nbits
         self.mprsf = CounterFile(self.n_rows, nbits, initial=np.asarray(mprsf))
         self.rcount = CounterFile(self.n_rows, nbits)
+        self._kind_latencies = np.array([tau_full, tau_partial], dtype=np.int64)
 
-    def refresh_row(self, row: int) -> RefreshCommand:
-        """Algorithm 1, lines 2-8."""
-        self._check_row(row)
-        if self.rcount.get(row) == self.mprsf.get(row):
-            self.rcount.reset(row)
-            return RefreshCommand(row, RefreshKind.FULL, self.tau_full)
-        self.rcount.increment(row)
-        return RefreshCommand(row, RefreshKind.PARTIAL, self.tau_partial)
+    def _decide_batch(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm 1, lines 2-8, vectorized over ``rows``."""
+        full = self.rcount.get_rows(rows) == self.mprsf.get_rows(rows)
+        self.rcount.reset_rows(rows[full])
+        self.rcount.increment_rows(rows[~full])
+        kinds = np.where(full, KIND_FULL, KIND_PARTIAL).astype(np.uint8)
+        return kinds, self._kind_latencies[kinds]
 
     def reset(self) -> None:
         self.rcount.reset_all()
@@ -235,9 +364,8 @@ class VRLAccessPolicy(VRLPolicy):
 
     name = "vrl-access"
 
-    def on_access(self, row: int) -> None:
-        self._check_row(row)
-        self.rcount.reset(row)
+    def _on_access_batch(self, rows: np.ndarray) -> None:
+        self.rcount.reset_rows(rows)
 
 
 def build_policy(

@@ -10,10 +10,14 @@ bank" under each policy.  This package is that simulator:
   (Ramulator-compatible text format);
 * :mod:`~repro.sim.bank` — a cycle-level single-bank model (row buffer,
   ACT/PRE/CAS timings, refresh blocking);
+* :mod:`~repro.sim.schedule` — the shared refresh-deadline semantics
+  (staggered first deadlines, interval arithmetic, refresh-wins-ties
+  arbitration, all-bank REF pacing) every simulator consumes;
 * :mod:`~repro.sim.engine` — the cycle-level trace-driven simulator;
-* :mod:`~repro.sim.fastpath` — an exact, per-row-vectorized evaluator
-  of refresh overhead used for the full Fig. 4 sweep (validated against
-  the cycle-level engine in the integration tests);
+* :mod:`~repro.sim.fastpath` — an exact, bank-vectorized evaluator of
+  refresh overhead driving the policies' batch kernel, used for the
+  full Fig. 4 sweep (validated against the cycle-level engine in the
+  integration and differential tests);
 * :mod:`~repro.sim.rank` — multi-bank rank simulation comparing JEDEC
   all-bank refresh against the per-bank row-targeted mode VRL needs;
 * :mod:`~repro.sim.stats` — result containers;
@@ -25,6 +29,16 @@ from .bank import Bank
 from .engine import BankSimulator, SimulationResult
 from .fastpath import RefreshOverheadEvaluator
 from .rank import RankResult, RankSimulator
+from .schedule import (
+    ALL_BANK_ROWS_PER_REF,
+    all_bank_ref_interval,
+    all_bank_trfc,
+    deadline_counts,
+    first_deadlines,
+    period_cycles,
+    refresh_wins_tie,
+    row_deadlines,
+)
 from .stats import RefreshStats, RequestStats
 from .timing import DRAMTiming
 from .trace_stats import (
@@ -43,6 +57,14 @@ __all__ = [
     "RefreshOverheadEvaluator",
     "RankResult",
     "RankSimulator",
+    "ALL_BANK_ROWS_PER_REF",
+    "all_bank_ref_interval",
+    "all_bank_trfc",
+    "deadline_counts",
+    "first_deadlines",
+    "period_cycles",
+    "refresh_wins_tie",
+    "row_deadlines",
     "RefreshStats",
     "RequestStats",
     "DRAMTiming",

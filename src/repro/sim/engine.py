@@ -10,7 +10,10 @@ queue FCFS behind whatever the bank is doing.
 This engine is the ground truth: it models queueing, row-buffer
 interference, and refresh stalls.  The :mod:`~repro.sim.fastpath`
 evaluator reproduces exactly its refresh accounting (asserted by the
-integration tests) and is what the full Fig. 4 sweep uses.
+integration tests) and is what the full Fig. 4 sweep uses.  Deadline
+placement and refresh-vs-request arbitration come from
+:mod:`~repro.sim.schedule`, the semantics shared with the fastpath and
+the rank simulator.
 """
 
 from __future__ import annotations
@@ -19,9 +22,12 @@ import heapq
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..controller.refresh import RefreshPolicy
 from ..technology import BankGeometry, DEFAULT_GEOMETRY
 from .bank import Bank
+from .schedule import first_deadlines, period_cycles, refresh_wins_tie
 from .stats import RefreshStats, RequestStats
 from .timing import DRAMTiming
 from .trace import MemoryTrace
@@ -72,16 +78,17 @@ class BankSimulator:
             )
         self.bank = Bank(timing, self.geometry)
 
-    def _initial_refresh_heap(self) -> list[tuple[int, int]]:
-        """(due_cycle, row) heap seeded with each row's first deadline."""
-        heap = []
-        n = self.policy.n_rows
-        for row in range(n):
-            period_cycles = self.timing.cycles(self.policy.row_period(row))
-            first_due = (row * period_cycles) // n
-            heap.append((first_due, row))
+    def _initial_refresh_heap(self) -> tuple[list[tuple[int, int]], np.ndarray]:
+        """(due_cycle, row) heap of first deadlines, plus per-row periods.
+
+        Both come from :mod:`~repro.sim.schedule`, so the engine, the
+        fastpath, and the rank simulator place deadlines identically.
+        """
+        periods = period_cycles(self.policy, self.timing)
+        first = first_deadlines(periods)
+        heap = list(zip(first.tolist(), range(self.policy.n_rows)))
         heapq.heapify(heap)
-        return heap
+        return heap, periods
 
     def run(
         self,
@@ -111,7 +118,7 @@ class BankSimulator:
         self.policy.reset()
         refresh_stats = RefreshStats(duration_cycles=duration_cycles)
         request_stats = RequestStats()
-        heap = self._initial_refresh_heap()
+        heap, periods = self._initial_refresh_heap()
         last_busy_was_refresh = False
 
         n_requests = len(trace) if trace is not None else 0
@@ -129,22 +136,19 @@ class BankSimulator:
             if not do_refresh and not do_request:
                 break
 
-            # Earliest event first; refresh wins ties (the controller
-            # prioritizes deadline-bound refreshes over demand requests).
-            if do_refresh and (not do_request or next_refresh_due <= next_request_at):
+            # Earliest event first; refresh wins ties (the shared
+            # arbitration rule in sim/schedule.py).
+            if do_refresh and (
+                not do_request or refresh_wins_tie(next_refresh_due, next_request_at)
+            ):
                 due, row = heapq.heappop(heap)
                 command = self.policy.refresh_row(row)
                 self.bank.refresh(due, command.latency_cycles)
                 # Only tRFC counts as refresh overhead (the Fig. 4
                 # metric); any precharge needed to close an open row is
                 # charged to the access stream that opened it.
-                refresh_stats.refresh_cycles += command.latency_cycles
-                if command.kind.value == "full":
-                    refresh_stats.full_refreshes += 1
-                else:
-                    refresh_stats.partial_refreshes += 1
-                period_cycles = self.timing.cycles(self.policy.row_period(row))
-                heapq.heappush(heap, (due + period_cycles, row))
+                refresh_stats.record(command)
+                heapq.heappush(heap, (due + int(periods[row]), row))
                 last_busy_was_refresh = True
             else:
                 arrival = next_request_at

@@ -1,4 +1,4 @@
-"""Exact fast evaluator of refresh overhead for full-length traces.
+"""Exact vectorized evaluator of refresh overhead for full-length traces.
 
 The cycle-level engine walks every demand request; for the Fig. 4 sweep
 (a dozen benchmarks x several policies x seconds of simulated time) that
@@ -7,14 +7,24 @@ rows were accessed in which refresh interval*, never on how many times
 or exactly when within the interval (an extra ``on_access`` reset of an
 already-reset counter is a no-op).
 
-This evaluator therefore processes rows independently: it walks each
-row's refresh deadlines in order, asks the policy for the refresh kind
-exactly like the engine does, and applies at most one ``on_access`` per
-(row, interval) — computed with a ``searchsorted`` over the row's access
-times.  The event ordering semantics match the engine's (refresh wins
-ties, an access at cycle ``c`` affects the first refresh due strictly
-after ``c``), so the refresh statistics are identical; the integration
-tests assert this against :class:`~repro.sim.engine.BankSimulator`.
+This evaluator therefore drives the policy's **batch kernel** over
+whole banks at once.  Deadlines come from :mod:`~repro.sim.schedule`
+(the same staggered placement and refresh-wins-ties arbitration the
+engine uses); the evaluation walks scheduling *rounds*: round ``k``
+gathers every row whose ``k``-th deadline falls before the horizon,
+applies at most one batched ``on_access_rows`` for the rows that were
+accessed in that interval (computed with one ``searchsorted`` per
+accessed row), and takes the whole round's refresh decisions with one
+``decide`` call.  Per row, the (access?, decide) sequence is identical
+to the scalar walk — policy state is strictly per-row, so the refresh
+statistics are bit-identical to the engine's; the integration and
+differential tests assert this against
+:class:`~repro.sim.engine.BankSimulator`.
+
+Policies that customize only the scalar ``refresh_row`` / ``on_access``
+methods still work here: the kernel's batch entry points transparently
+fall back to looping the scalar methods (see
+:mod:`repro.controller.refresh`).
 """
 
 from __future__ import annotations
@@ -24,13 +34,14 @@ from typing import Optional
 import numpy as np
 
 from ..controller.refresh import RefreshPolicy
+from .schedule import deadline_counts, first_deadlines, period_cycles, row_deadlines
 from .stats import RefreshStats
 from .timing import DRAMTiming
 from .trace import MemoryTrace
 
 
 class RefreshOverheadEvaluator:
-    """Per-row-vectorized refresh-overhead evaluation.
+    """Bank-vectorized refresh-overhead evaluation via the policy kernel.
 
     Args:
         policy: refresh policy to drive.
@@ -61,6 +72,39 @@ class RefreshOverheadEvaluator:
             out[row] = cycles_sorted[group]
         return out
 
+    def _access_rounds(
+        self,
+        trace: Optional[MemoryTrace],
+        first: np.ndarray,
+        periods: np.ndarray,
+        counts: np.ndarray,
+        duration_cycles: int,
+        max_rounds: int,
+    ) -> Optional[np.ndarray]:
+        """Boolean (rows, rounds) matrix: interval ``k`` of a row saw an access.
+
+        An access at cycle ``c`` affects the first deadline due strictly
+        after ``c`` (refresh wins ties); entry ``[r, k]`` is therefore
+        "at least one access to ``r`` landed strictly before its
+        ``k``-th deadline and at/after its ``(k-1)``-th".  ``None``
+        when the trace carries no accesses.
+        """
+        accesses = self._accesses_by_row(trace)
+        if not accesses:
+            return None
+        n = self.policy.n_rows
+        had_access = np.zeros((n, max_rounds), dtype=bool)
+        for row, row_accesses in accesses.items():
+            if not 0 <= row < n or counts[row] == 0:
+                continue
+            dues = row_deadlines(int(first[row]), int(periods[row]), duration_cycles)
+            # Number of accesses strictly before each deadline; an
+            # increase since the previous deadline means at least one
+            # access landed in the interval.
+            seen = np.searchsorted(row_accesses, dues, side="left")
+            had_access[row, : counts[row]] = np.diff(np.concatenate(([0], seen))) > 0
+        return had_access
+
     def evaluate(
         self,
         duration_cycles: int,
@@ -78,32 +122,23 @@ class RefreshOverheadEvaluator:
             raise ValueError(f"duration must be positive, got {duration_cycles}")
         self.policy.reset()
         stats = RefreshStats(duration_cycles=duration_cycles)
-        accesses = self._accesses_by_row(trace)
-        n = self.policy.n_rows
 
-        for row in range(n):
-            period = self.timing.cycles(self.policy.row_period(row))
-            first_due = (row * period) // n
-            if first_due >= duration_cycles:
-                continue
-            dues = np.arange(first_due, duration_cycles, period, dtype=np.int64)
-            row_accesses = accesses.get(row)
-            if row_accesses is not None and len(row_accesses) > 0:
-                # Number of accesses strictly before each deadline; an
-                # increase since the previous deadline means at least
-                # one access landed in the interval.
-                seen = np.searchsorted(row_accesses, dues, side="left")
-                had_access = np.diff(np.concatenate(([0], seen))) > 0
-            else:
-                had_access = np.zeros(len(dues), dtype=bool)
+        periods = period_cycles(self.policy, self.timing)
+        first = first_deadlines(periods)
+        counts = deadline_counts(first, periods, duration_cycles)
+        max_rounds = int(counts.max(initial=0))
+        if max_rounds == 0:
+            return stats
+        had_access = self._access_rounds(
+            trace, first, periods, counts, duration_cycles, max_rounds
+        )
 
-            for due_index in range(len(dues)):
-                if had_access[due_index]:
-                    self.policy.on_access(row)
-                command = self.policy.refresh_row(row)
-                stats.refresh_cycles += command.latency_cycles
-                if command.kind.value == "full":
-                    stats.full_refreshes += 1
-                else:
-                    stats.partial_refreshes += 1
+        for round_index in range(max_rounds):
+            rows = np.nonzero(counts > round_index)[0]
+            if had_access is not None:
+                accessed = rows[had_access[rows, round_index]]
+                if len(accessed):
+                    self.policy.on_access_rows(accessed)
+            kinds, latencies = self.policy.decide(rows)
+            stats.record_batch(kinds, latencies)
         return stats

@@ -31,15 +31,19 @@ import numpy as np
 from ..controller.refresh import RefreshPolicy
 from ..technology import BankGeometry, DEFAULT_GEOMETRY
 from .bank import Bank
+from .schedule import (
+    ALL_BANK_ROWS_PER_REF,
+    all_bank_ref_interval,
+    all_bank_trfc,
+    first_deadlines,
+    period_cycles,
+    refresh_wins_tie,
+)
 from .stats import RefreshStats, RequestStats
 from .timing import DRAMTiming
 from .trace import MemoryTrace
 
-#: Rows of every bank covered by one all-bank REF command; its tRFC is
-#: this multiple of the single-row latency (a JEDEC REF refreshes
-#: several rows per bank back-to-back, which is why rank-level tRFC is
-#: far larger than a row cycle).
-ALL_BANK_ROWS_PER_REF = 4
+__all__ = ["ALL_BANK_ROWS_PER_REF", "RankResult", "RankSimulator"]
 
 
 @dataclass
@@ -127,30 +131,33 @@ class RankSimulator:
     # Refresh event streams                                               #
     # ------------------------------------------------------------------ #
 
-    def _per_bank_heap(self) -> list[tuple[int, int, int]]:
-        """(due, bank, row) heap for row-targeted refresh."""
+    def _per_bank_heap(self) -> tuple[list[tuple[int, int, int]], list[np.ndarray]]:
+        """(due, bank, row) heap for row-targeted refresh, plus per-bank periods.
+
+        First deadlines stagger across rows *and* banks via the shared
+        :func:`~repro.sim.schedule.first_deadlines` so refreshes spread
+        out exactly like the single-bank simulators'.
+        """
         heap = []
-        n = self.geometry.rows
+        periods_by_bank = []
         for bank_index, policy in enumerate(self.policies):
-            for row in range(n):
-                period = self.timing.cycles(policy.row_period(row))
-                # Stagger across rows and banks so refreshes spread out.
-                first_due = (row * period) // n + (bank_index * period) // (
-                    n * self.n_banks
-                )
-                heap.append((first_due, bank_index, row))
+            periods = period_cycles(policy, self.timing)
+            periods_by_bank.append(periods)
+            first = first_deadlines(periods, bank_index=bank_index, n_banks=self.n_banks)
+            heap.extend(
+                (due, bank_index, row) for row, due in enumerate(first.tolist())
+            )
         heapq.heapify(heap)
-        return heap
+        return heap, periods_by_bank
 
     def _all_bank_refreshes(self, duration_cycles: int):
         """Yield REF due-cycles for JEDEC all-bank pacing.
 
-        Every row of every bank must be covered once per 64 ms; with
-        ``ALL_BANK_ROWS_PER_REF`` rows per command, the REF interval is
-        ``64 ms / (rows / rows_per_ref)``.
+        Every row of every bank must be covered once per conventional
+        64 ms period; the command interval comes from the shared
+        :func:`~repro.sim.schedule.all_bank_ref_interval`.
         """
-        refs_per_period = max(1, self.geometry.rows // ALL_BANK_ROWS_PER_REF)
-        interval = max(1, self.timing.cycles(64e-3) // refs_per_period)
+        interval = all_bank_ref_interval(self.timing, self.geometry.rows)
         due = 0
         while due < duration_cycles:
             yield due
@@ -241,7 +248,7 @@ class RankSimulator:
         self, trace, banks_for_requests, duration_cycles, refresh_stats,
         request_stats, blocked_intervals,
     ):
-        heap = self._per_bank_heap()
+        heap, periods_by_bank = self._per_bank_heap()
         n_requests = len(trace) if trace is not None else 0
         request_index = 0
         while True:
@@ -253,18 +260,13 @@ class RankSimulator:
             do_req = next_req is not None and next_req < duration_cycles
             if not do_ref and not do_req:
                 break
-            if do_ref and (not do_req or next_due <= next_req):
+            if do_ref and (not do_req or refresh_wins_tie(next_due, next_req)):
                 due, bank_index, row = heapq.heappop(heap)
                 command = self.policies[bank_index].refresh_row(row)
                 outcome = self.banks[bank_index].refresh(due, command.latency_cycles)
-                stats = refresh_stats[bank_index]
-                stats.refresh_cycles += command.latency_cycles
-                if command.kind.value == "full":
-                    stats.full_refreshes += 1
-                else:
-                    stats.partial_refreshes += 1
+                refresh_stats[bank_index].record(command)
                 blocked_intervals.append((outcome.start_cycle, outcome.finish_cycle))
-                period = self.timing.cycles(self.policies[bank_index].row_period(row))
+                period = int(periods_by_bank[bank_index][row])
                 heapq.heappush(heap, (due + period, bank_index, row))
             else:
                 row = int(trace.rows[request_index])
@@ -278,7 +280,7 @@ class RankSimulator:
         self, trace, banks_for_requests, duration_cycles, refresh_stats,
         request_stats, blocked_intervals,
     ):
-        trfc = self.policies[0].tau_full * ALL_BANK_ROWS_PER_REF
+        trfc = all_bank_trfc(self.policies[0].tau_full)
         refresh_dues = list(self._all_bank_refreshes(duration_cycles))
         n_requests = len(trace) if trace is not None else 0
         request_index = 0
@@ -292,7 +294,7 @@ class RankSimulator:
             do_req = next_req is not None and next_req < duration_cycles
             if not do_ref and not do_req:
                 break
-            if do_ref and (not do_req or next_due <= next_req):
+            if do_ref and (not do_req or refresh_wins_tie(next_due, next_req)):
                 start = next_due
                 for bank_index, bank in enumerate(self.banks):
                     outcome = bank.refresh(next_due, trfc)

@@ -3,6 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..controller.refresh import KIND_FULL
+
+if TYPE_CHECKING:  # pragma: no cover - import for type hints only
+    from ..controller.refresh import RefreshCommand
 
 
 @dataclass
@@ -18,6 +26,27 @@ class RefreshStats:
     partial_refreshes: int = 0
     refresh_cycles: int = 0
     duration_cycles: int = 0
+
+    def record(self, command: "RefreshCommand") -> None:
+        """Account one issued refresh command (scalar simulator path)."""
+        self.refresh_cycles += command.latency_cycles
+        if command.kind.value == "full":
+            self.full_refreshes += 1
+        else:
+            self.partial_refreshes += 1
+
+    def record_batch(self, kinds: np.ndarray, latency_cycles: np.ndarray) -> None:
+        """Account one batch of kernel decisions (vectorized path).
+
+        Args:
+            kinds: kind codes as returned by
+                :meth:`repro.controller.refresh.RefreshPolicy.decide`.
+            latency_cycles: matching per-refresh latencies in cycles.
+        """
+        n_full = int(np.count_nonzero(kinds == KIND_FULL))
+        self.full_refreshes += n_full
+        self.partial_refreshes += len(kinds) - n_full
+        self.refresh_cycles += int(latency_cycles.sum())
 
     @property
     def total_refreshes(self) -> int:

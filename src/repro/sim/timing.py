@@ -11,11 +11,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..controller.refresh import CONVENTIONAL_PERIOD
 from ..technology import TechnologyParams
-from ..units import MS, to_cycles
+from ..units import to_cycles
 
-#: JEDEC refresh interval: 64 ms / 8192 refresh commands.
-TREFI_SECONDS = 64 * MS / 8192
+#: JEDEC refresh interval: the 64 ms conventional refresh period spread
+#: over 8192 refresh commands (one row of the paper's 8192-row bank per
+#: command).  Derived from the controller's ``CONVENTIONAL_PERIOD`` so
+#: the timing layer and the policies share one definition of the
+#: worst-case period.
+TREFI_SECONDS = CONVENTIONAL_PERIOD / 8192
 
 
 @dataclass(frozen=True)

@@ -116,7 +116,6 @@ class TestLayering:
             with open(source) as fh:
                 text = fh.read()
             for upper in uppers:
-                forbidden = f"from {upper.replace('repro', '..', 1)}" if False else upper
                 # Check both absolute and the corresponding relative form.
                 relative = upper.replace("repro.", "")
                 assert f"from {upper}" not in text and f"import {upper}" not in text, (

@@ -11,7 +11,7 @@ from repro.circuit import (
     simulate_presensing,
     simulate_refresh_trajectory,
 )
-from repro.technology import BankGeometry, DEFAULT_GEOMETRY, DEFAULT_TECH
+from repro.technology import BankGeometry, DEFAULT_TECH
 
 TECH = DEFAULT_TECH
 SMALL = BankGeometry(2048, 32)

@@ -144,7 +144,6 @@ class TestResultAccessors:
         result = TransientSolver(_rc_discharge(r=1e3, c=1e-12, v0=1.0)).run(
             t_stop=1e-9, dt=1e-10
         )
-        tau = 1e-9
         mid = result.at("a", 0.15e-9)
         assert result.at("a", 0.1e-9) > mid > result.at("a", 0.2e-9)
 

@@ -133,10 +133,12 @@ class TestRunnerFlags:
         assert main(self.FIG4 + ["--jobs", "2", "--no-cache", "--runs-dir", ""]) == 0
         parallel = capsys.readouterr().out
         # Everything except the runner telemetry lines must match exactly.
-        strip = lambda out: [
-            line for line in out.splitlines()
-            if not line.startswith(("runner", "[fig4 completed"))
-        ]
+        def strip(out):
+            return [
+                line for line in out.splitlines()
+                if not line.startswith(("runner", "[fig4 completed"))
+            ]
+
         assert strip(serial) == strip(parallel)
 
     def test_manifest_written_and_cache_warms(self, tmp_path, capsys):
@@ -225,8 +227,10 @@ class TestFaultToleranceFlags:
         chaos_args = clean_args + ["--chaos", "raise@3", "--retries", "1"]
         assert main(chaos_args) == 0
         chaotic = capsys.readouterr().out
-        strip = lambda out: [
-            line for line in out.splitlines()
-            if not line.startswith(("runner", "[fig4 completed"))
-        ]
+        def strip(out):
+            return [
+                line for line in out.splitlines()
+                if not line.startswith(("runner", "[fig4 completed"))
+            ]
+
         assert strip(clean) == strip(chaotic)

@@ -86,3 +86,39 @@ class TestCounterFile:
             CounterFile(0, 2)
         with pytest.raises(ValueError, match="nbits"):
             CounterFile(2, 0)
+
+
+class TestCounterFileBatchOps:
+    """The array entry points backing the policy kernel."""
+
+    def test_get_rows_matches_scalar_and_copies(self):
+        cf = CounterFile(4, 2, initial=np.array([0, 1, 2, 3]))
+        rows = np.array([3, 1, 1])
+        got = cf.get_rows(rows)
+        assert got.tolist() == [cf.get(3), cf.get(1), cf.get(1)]
+        got[:] = 99  # a copy: must not write through to the file
+        assert cf.values.tolist() == [0, 1, 2, 3]
+
+    def test_increment_rows_saturates(self):
+        cf = CounterFile(3, 1, initial=np.array([0, 1, 1]))
+        cf.increment_rows(np.array([0, 1, 2]))
+        assert cf.values.tolist() == [1, 1, 1]  # rows 1, 2 clip at 2^1 - 1
+
+    def test_increment_rows_duplicate_indices_accumulate(self):
+        """np.add.at semantics: each occurrence counts (then clips)."""
+        cf = CounterFile(2, 3)
+        cf.increment_rows(np.array([0, 0, 0, 1]))
+        assert cf.values.tolist() == [3, 1]
+
+    def test_reset_rows(self):
+        cf = CounterFile(4, 2, initial=3)
+        cf.reset_rows(np.array([1, 3]))
+        assert cf.values.tolist() == [3, 0, 3, 0]
+
+    def test_empty_batches_are_noops(self):
+        cf = CounterFile(2, 2, initial=1)
+        empty = np.empty(0, dtype=np.int64)
+        assert cf.get_rows(empty).tolist() == []
+        cf.increment_rows(empty)
+        cf.reset_rows(empty)
+        assert cf.values.tolist() == [1, 1]

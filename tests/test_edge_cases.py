@@ -8,7 +8,6 @@ from repro.circuit import (
     Circuit,
     GND,
     NMOS,
-    Resistor,
     TransientSolver,
     VoltageSource,
 )

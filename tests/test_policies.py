@@ -11,7 +11,7 @@ from repro.controller import (
     VRLPolicy,
     build_policy,
 )
-from repro.retention import BinningResult, RefreshBinning, RetentionProfile, RetentionProfiler
+from repro.retention import BinningResult, RefreshBinning, RetentionProfiler
 from repro.technology import BankGeometry, DEFAULT_TECH
 from repro.units import MS
 

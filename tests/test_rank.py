@@ -129,8 +129,10 @@ class TestAllBankMode:
         assert result.mode == "all-bank"
         expected_refs = len(list(sim._all_bank_refreshes(duration)))
         counts = {s.full_refreshes for s in result.per_bank_refresh}
-        # Every bank saw every REF (each covering several rows).
-        from repro.sim.rank import ALL_BANK_ROWS_PER_REF
+        # Every bank saw every REF (each covering several rows).  The
+        # constant lives in the shared schedule layer; sim.rank
+        # re-exports it for back-compat.
+        from repro.sim.schedule import ALL_BANK_ROWS_PER_REF
 
         assert counts == {expected_refs * ALL_BANK_ROWS_PER_REF}
 

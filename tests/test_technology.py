@@ -9,7 +9,6 @@ from repro.technology import (
     DEFAULT_GEOMETRY,
     DEFAULT_TECH,
     TABLE1_GEOMETRIES,
-    TechnologyParams,
 )
 
 
