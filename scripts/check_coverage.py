@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Gate line coverage of one package from a Cobertura coverage.xml.
+
+CI runs ``pytest --cov=repro --cov-report=xml`` and then::
+
+    python scripts/check_coverage.py coverage.xml --package repro.circuit --min 90
+
+The script sums line hits across every file whose module path lives
+under the requested package (dotted prefix match against the
+``<class filename=...>`` entries, so it is independent of where the
+sources were checked out) and fails with a per-file breakdown when the
+aggregate line rate is below the threshold.  Stdlib only — it must run
+in the lint stage of any CI image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import PurePosixPath
+
+
+def module_of(filename: str) -> str:
+    """Dotted module path of a coverage.xml filename entry."""
+    path = PurePosixPath(filename.replace("\\", "/"))
+    parts = list(path.parts)
+    # Strip a leading src/ layout prefix if the report kept it.
+    while parts and parts[0] in ("src", "."):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def collect(xml_path: str, package: str) -> dict[str, tuple[int, int]]:
+    """Map module -> (covered_lines, total_lines) under ``package``."""
+    root = ET.parse(xml_path).getroot()
+    prefix = package + "."
+    out: dict[str, tuple[int, int]] = {}
+    for cls in root.iter("class"):
+        module = module_of(cls.get("filename", ""))
+        if module != package and not module.startswith(prefix):
+            continue
+        lines = cls.find("lines")
+        if lines is None:
+            continue
+        total = covered = 0
+        for line in lines.iter("line"):
+            total += 1
+            if int(line.get("hits", "0")) > 0:
+                covered += 1
+        if total:
+            prev = out.get(module, (0, 0))
+            out[module] = (prev[0] + covered, prev[1] + total)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("xml", help="path to the Cobertura coverage.xml")
+    parser.add_argument("--package", required=True, help="dotted package to gate")
+    parser.add_argument(
+        "--min", type=float, required=True, help="minimum aggregate line rate (percent)"
+    )
+    args = parser.parse_args()
+
+    per_module = collect(args.xml, args.package)
+    if not per_module:
+        print(f"error: no files under package {args.package!r} in {args.xml}")
+        return 2
+
+    covered = sum(c for c, _ in per_module.values())
+    total = sum(t for _, t in per_module.values())
+    rate = 100.0 * covered / total
+    print(f"{args.package}: {covered}/{total} lines covered ({rate:.1f}%)")
+    for module in sorted(per_module):
+        mod_cov, mod_total = per_module[module]
+        print(f"  {module}: {100.0 * mod_cov / mod_total:5.1f}% ({mod_cov}/{mod_total})")
+    if rate < args.min:
+        print(f"FAIL: {rate:.1f}% < required {args.min:.1f}%")
+        return 1
+    print(f"OK: {rate:.1f}% >= required {args.min:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,13 +8,22 @@ MOSFET models, plus netlist builders for the exact DRAM circuits of
 Fig. 2 (equalization pair, charge-sharing bitline with coupling, and the
 latch-based voltage sense amplifier).
 
+The simulator is compile-then-run: a :class:`CircuitSession` compiles a
+netlist's MNA structure once (linear stamps cached per step size,
+MOSFETs re-linearized vectorized per Newton iteration) and then runs
+fixed-step or adaptive transients against it, returning
+:class:`SolverStats` telemetry with every result.
+
 Typical use::
 
-    from repro.circuit import build_equalization_circuit, TransientSolver
+    from repro.circuit import CircuitSession, build_equalization_circuit
 
-    circuit = build_equalization_circuit(tech, geometry)
-    result = TransientSolver(circuit).run(t_stop=2e-9, dt=2e-12)
+    session = CircuitSession(build_equalization_circuit(tech, geometry))
+    result = session.simulate(t_stop=2e-9, dt=2e-12)
     v_bitline = result["bl"]
+    print(result.stats.summary())
+
+:class:`TransientSolver` remains as a one-shot convenience wrapper.
 """
 
 from .netlist import (
@@ -23,19 +32,27 @@ from .netlist import (
     CurrentSource,
     Element,
     GND,
+    Inductor,
     NMOS,
     PMOS,
     Resistor,
     VoltageSource,
 )
 from .waveforms import Waveform, constant, piecewise_linear, pulse, step
-from .solver import TransientResult, TransientSolver
-from .measure import crossing_time, delivered_energy, settle_time, value_at
+from .solver import (
+    CircuitSession,
+    ConvergenceError,
+    SolverStats,
+    TransientResult,
+    TransientSolver,
+)
+from .measure import combined_stats, crossing_time, delivered_energy, settle_time, value_at
 from .dram_circuits import (
     build_charge_sharing_circuit,
     build_equalization_circuit,
     build_refresh_circuit,
     build_sense_amplifier_circuit,
+    refresh_circuit_session,
     simulate_equalization,
     simulate_presensing,
     simulate_refresh_trajectory,
@@ -47,6 +64,7 @@ __all__ = [
     "CurrentSource",
     "Element",
     "GND",
+    "Inductor",
     "NMOS",
     "PMOS",
     "Resistor",
@@ -56,8 +74,12 @@ __all__ = [
     "piecewise_linear",
     "pulse",
     "step",
+    "CircuitSession",
+    "ConvergenceError",
+    "SolverStats",
     "TransientResult",
     "TransientSolver",
+    "combined_stats",
     "crossing_time",
     "delivered_energy",
     "settle_time",
@@ -66,6 +88,7 @@ __all__ = [
     "build_equalization_circuit",
     "build_refresh_circuit",
     "build_sense_amplifier_circuit",
+    "refresh_circuit_session",
     "simulate_equalization",
     "simulate_presensing",
     "simulate_refresh_trajectory",

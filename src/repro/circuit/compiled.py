@@ -1,0 +1,670 @@
+"""Compiled MNA assembly: extract structure once, re-stamp only devices.
+
+The reference stamping protocol (:mod:`repro.circuit.netlist`) rebuilds
+the whole MNA system element-by-element in Python on every Newton
+iteration.  This module performs that walk **once**, at compile time,
+and partitions the circuit (:meth:`Circuit.partition`):
+
+* **Linear elements** (R, L, C, V/I sources) contribute conductance
+  entries of the form ``const + coef / dt`` — constant for a fixed step
+  size.  They are flattened into COO index/value arrays and summed into
+  a cached base matrix per distinct ``dt``.
+* **Nonlinear devices** (square-law MOSFETs) are lowered to parallel
+  numpy arrays (``beta``/``vt``/``lambda``/polarity plus terminal
+  indices).  Each Newton iteration evaluates every device's current and
+  small-signal conductances in a handful of vectorized expressions and
+  scatter-adds them into a *copy* of the cached linear base — no Python
+  per-element loop, no re-stamping of linear parts.
+* **The sparsity pattern** is precomputed.  Above
+  :data:`~repro.circuit.solver.SPARSE_THRESHOLD` unknowns the base is a
+  CSC data vector over the exact union pattern (linear entries, both
+  drain/source orientations of every MOSFET, and the node diagonals for
+  regularization); per-iteration stamping writes straight into a copy of
+  that data vector and the matrix is handed to SuperLU without ever
+  materializing a dense ``(size, size)`` array or converting formats.
+
+Circuits containing *opaque* elements — user subclasses with custom
+``stamp`` arithmetic — cannot be described statically and fall back to
+:class:`ReferenceAssembler`, which preserves the seed solver's
+behaviour (and stamps into a ``scipy.sparse.lil_matrix`` above the
+sparse threshold, so even the fallback never densifies large systems).
+
+Both assemblers expose the same two entry points consumed by
+:class:`~repro.circuit.solver.CircuitSession`:
+
+* ``prepare_step(xp_prev, t, dt, stats)`` → an ``iterate(xp)`` callable
+  performing one linearize-assemble-solve round, and
+* ``system_matrices(x, v_prev, t, dt)`` → the dense ``(G, I)`` pair for
+  verification (architecture invariant 10: compiled and reference
+  stamping produce identical MNA systems).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .netlist import (
+    GMIN,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+    _MOSFET,
+)
+
+
+class SingularSystemError(RuntimeError):
+    """The assembled MNA matrix could not be factorized (singular)."""
+
+
+#: The eight Jacobian stamps of a MOSFET, as (row, col) picked from the
+#: effective (drain, gate, source) triple, and the sign/kind of each
+#: value: ``gds`` for the output conductance block, ``gm`` for the
+#: transconductance block.  Mirrors ``_MOSFET.stamp`` exactly.
+_FET_STAMPS = (
+    ("d", "d", "gds", +1.0),
+    ("s", "s", "gds", +1.0),
+    ("d", "s", "gds", -1.0),
+    ("s", "d", "gds", -1.0),
+    ("d", "g", "gm", +1.0),
+    ("d", "s", "gm", -1.0),
+    ("s", "g", "gm", -1.0),
+    ("s", "s", "gm", +1.0),
+)
+
+
+def build_assembler(circuit: Circuit, size: int, sparse: bool):
+    """Compile ``circuit`` if possible, else fall back to reference stamping.
+
+    Args:
+        circuit: an assembled circuit (terminals bound to indices).
+        size: MNA system size as returned by :meth:`Circuit.assemble`.
+        sparse: whether the solver chose the sparse linear-algebra path.
+    """
+    linear, nonlinear, opaque = circuit.partition()
+    if opaque:
+        return ReferenceAssembler(circuit, size, sparse)
+    return CompiledCircuit(circuit, size, sparse, linear, nonlinear)
+
+
+class CompiledCircuit:
+    """Vectorized MNA assembly for a circuit of library element types.
+
+    Built once per :class:`~repro.circuit.solver.CircuitSession`; holds
+    the COO/CSC structure, per-``dt`` linear base cache, and the device
+    parameter arrays.  Not constructed directly — use
+    :func:`build_assembler`.
+    """
+
+    is_compiled = True
+
+    def __init__(self, circuit, size, sparse, linear, nonlinear):
+        self.size = size
+        self.n_nodes = circuit.num_nodes
+        self.sparse = sparse
+        pad = size  # index of the discard slot in padded vectors
+
+        # --- linear conductance entries: value(dt) = const + coef / dt ---
+        rows: List[int] = []
+        cols: List[int] = []
+        const: List[float] = []
+        coef: List[float] = []
+
+        def entry(i: int, j: int, c: float = 0.0, k: float = 0.0) -> None:
+            if i >= 0 and j >= 0:
+                rows.append(i)
+                cols.append(j)
+                const.append(c)
+                coef.append(k)
+
+        # --- per-step RHS history terms: I[row] += (coef/dt) * (x_prev[a] - x_prev[b]) ---
+        h_row: List[int] = []
+        h_a: List[int] = []
+        h_b: List[int] = []
+        h_coef: List[float] = []
+
+        def history(row: int, a: int, b: int, k: float) -> None:
+            if row >= 0:
+                h_row.append(row)
+                h_a.append(a if a >= 0 else pad)
+                h_b.append(b if b >= 0 else pad)
+                h_coef.append(k)
+
+        vs_rows: List[int] = []
+        vs_waves: List[Callable[[float], float]] = []
+        is_rows_a: List[int] = []
+        is_rows_b: List[int] = []
+        is_waves: List[Callable[[float], float]] = []
+
+        for el in linear:
+            if isinstance(el, Resistor):
+                g = 1.0 / el.resistance
+                ia, ib = el._indices
+                entry(ia, ia, g)
+                entry(ib, ib, g)
+                entry(ia, ib, -g)
+                entry(ib, ia, -g)
+            elif isinstance(el, Capacitor):
+                ia, ib = el._indices
+                c = el.capacitance
+                entry(ia, ia, k=c)
+                entry(ib, ib, k=c)
+                entry(ia, ib, k=-c)
+                entry(ib, ia, k=-c)
+                history(ia, ia, ib, c)
+                history(ib, ia, ib, -c)
+            elif isinstance(el, Inductor):
+                ia, ib = el._indices
+                k = el._branch_index
+                entry(ia, k, 1.0)
+                entry(ib, k, -1.0)
+                entry(k, ia, 1.0)
+                entry(k, ib, -1.0)
+                entry(k, k, k=-el.inductance)
+                history(k, k, -1, -el.inductance)
+            elif isinstance(el, VoltageSource):
+                ia, ib = el._indices
+                k = el._branch_index
+                entry(ia, k, 1.0)
+                entry(ib, k, -1.0)
+                entry(k, ia, 1.0)
+                entry(k, ib, -1.0)
+                vs_rows.append(k)
+                vs_waves.append(el.waveform)
+            elif isinstance(el, CurrentSource):
+                ia, ib = el._indices
+                is_rows_a.append(ia if ia >= 0 else pad)
+                is_rows_b.append(ib if ib >= 0 else pad)
+                is_waves.append(el.waveform)
+
+        self._lin_rows = np.asarray(rows, dtype=np.intp)
+        self._lin_cols = np.asarray(cols, dtype=np.intp)
+        self._lin_const = np.asarray(const)
+        self._lin_coef = np.asarray(coef)
+        self._h_row = np.asarray(h_row, dtype=np.intp)
+        self._h_a = np.asarray(h_a, dtype=np.intp)
+        self._h_b = np.asarray(h_b, dtype=np.intp)
+        self._h_coef = np.asarray(h_coef)
+        self._vs_rows = vs_rows
+        self._vs_waves = vs_waves
+        self._is_rows_a = is_rows_a
+        self._is_rows_b = is_rows_b
+        self._is_waves = is_waves
+
+        # --- nonlinear devices as parallel arrays ---
+        n_fet = len(nonlinear)
+        self.n_devices = n_fet
+        self._f_beta = np.array([f.beta for f in nonlinear])
+        self._f_vt = np.array([f.vt for f in nonlinear])
+        self._f_lam = np.array([f.lam for f in nonlinear])
+        self._f_pol = np.array([float(f.polarity) for f in nonlinear])
+        f_d = np.array([f._indices[0] for f in nonlinear], dtype=np.intp).reshape(n_fet)
+        f_g = np.array([f._indices[1] for f in nonlinear], dtype=np.intp).reshape(n_fet)
+        f_s = np.array([f._indices[2] for f in nonlinear], dtype=np.intp).reshape(n_fet)
+        self._f_d_gather = np.where(f_d < 0, pad, f_d)
+        self._f_g_gather = np.where(f_g < 0, pad, f_g)
+        self._f_s_gather = np.where(f_s < 0, pad, f_s)
+
+        if sparse:
+            self._build_sparse_structure(f_d, f_g, f_s)
+        else:
+            self._build_dense_structure(f_d, f_g, f_s)
+
+        # Per-dt cache of the assembled linear base (matrix for the
+        # dense path, CSC data vector for the sparse path) plus, for
+        # device-free circuits, its reusable factorization.
+        self._lin_cache_dt: Optional[float] = None
+        self._lin_cache_base = None
+        self._lin_cache_factor = None
+
+    # ------------------------------------------------------------------ #
+    # structure construction                                              #
+    # ------------------------------------------------------------------ #
+
+    def _fet_positions(self, f_d, f_g, f_s, locate, pad_pos):
+        """Stamp-position arrays for both device orientations.
+
+        ``locate(i, j)`` maps a matrix coordinate to a storage position
+        (dense flat index or CSC data offset); ground coordinates map to
+        ``pad_pos``, a discard slot.  Returns ``(pos_normal,
+        pos_swapped, rhs_normal, rhs_swapped)``; the ``pos`` arrays are
+        ``(n_fet, 8)`` following :data:`_FET_STAMPS`, the ``rhs`` arrays
+        ``(n_fet, 2)`` for the (drain, source) current rows.
+        """
+        n = len(f_d)
+        pos = {True: np.empty((n, 8), dtype=np.intp), False: np.empty((n, 8), dtype=np.intp)}
+        rhs = {True: np.empty((n, 2), dtype=np.intp), False: np.empty((n, 2), dtype=np.intp)}
+        for swapped in (False, True):
+            for dev in range(n):
+                d_eff = f_s[dev] if swapped else f_d[dev]
+                s_eff = f_d[dev] if swapped else f_s[dev]
+                terms = {"d": d_eff, "g": f_g[dev], "s": s_eff}
+                for slot, (ri, ci, _kind, _sign) in enumerate(_FET_STAMPS):
+                    i, j = terms[ri], terms[ci]
+                    pos[swapped][dev, slot] = locate(i, j) if (i >= 0 and j >= 0) else pad_pos
+                rhs[swapped][dev, 0] = d_eff if d_eff >= 0 else pad_pos
+                rhs[swapped][dev, 1] = s_eff if s_eff >= 0 else pad_pos
+        return pos[False], pos[True], rhs[False], rhs[True]
+
+    def _build_dense_structure(self, f_d, f_g, f_s) -> None:
+        """Dense backend: flat indices into a ``(size+1, size+1)`` pad matrix."""
+        size = self.size
+        stride = size + 1
+        self._lin_flat = self._lin_rows * stride + self._lin_cols
+        self._diag_flat = np.arange(self.n_nodes, dtype=np.intp) * stride + np.arange(
+            self.n_nodes, dtype=np.intp
+        )
+        pad_pos = size * stride + size  # the (size, size) discard cell
+
+        def locate(i: int, j: int) -> int:
+            return int(i) * stride + int(j)
+
+        (
+            self._pos_normal,
+            self._pos_swapped,
+            self._rhs_normal,
+            self._rhs_swapped,
+        ) = self._fet_positions(f_d, f_g, f_s, locate, pad_pos)
+        # RHS scatter targets index the padded I vector directly (pad row
+        # = size), not the flat matrix; rebuild them with that mapping.
+        self._rhs_normal = np.where(self._rhs_normal == pad_pos, size, self._rhs_normal)
+        self._rhs_swapped = np.where(self._rhs_swapped == pad_pos, size, self._rhs_swapped)
+
+    def _build_sparse_structure(self, f_d, f_g, f_s) -> None:
+        """Sparse backend: canonical CSC pattern + slot→data-offset maps."""
+        size = self.size
+        # Register every structural entry as a COO "slot": the linear
+        # entries, both orientations of every device stamp, and the node
+        # diagonals (regularization must be able to write them).
+        slot_rows: List[int] = list(self._lin_rows)
+        slot_cols: List[int] = list(self._lin_cols)
+        fet_slot: dict[Tuple[int, int], int] = {}
+
+        def register(i: int, j: int) -> int:
+            key = (i, j)
+            if key not in fet_slot:
+                fet_slot[key] = len(slot_rows)
+                slot_rows.append(i)
+                slot_cols.append(j)
+            return fet_slot[key]
+
+        n = len(f_d)
+        pos_arrays = {}
+        rhs_arrays = {}
+        for swapped in (False, True):
+            pos = np.empty((n, 8), dtype=np.intp)
+            rhs = np.empty((n, 2), dtype=np.intp)
+            for dev in range(n):
+                d_eff = f_s[dev] if swapped else f_d[dev]
+                s_eff = f_d[dev] if swapped else f_s[dev]
+                terms = {"d": d_eff, "g": f_g[dev], "s": s_eff}
+                for slot, (ri, ci, _kind, _sign) in enumerate(_FET_STAMPS):
+                    i, j = int(terms[ri]), int(terms[ci])
+                    pos[dev, slot] = register(i, j) if (i >= 0 and j >= 0) else -1
+                rhs[dev, 0] = d_eff if d_eff >= 0 else size
+                rhs[dev, 1] = s_eff if s_eff >= 0 else size
+            pos_arrays[swapped] = pos
+            rhs_arrays[swapped] = rhs
+        diag_slots = [register(k, k) for k in range(self.n_nodes)]
+
+        all_rows = np.asarray(slot_rows, dtype=np.intp)
+        all_cols = np.asarray(slot_cols, dtype=np.intp)
+        order = np.lexsort((all_rows, all_cols))
+        sr = all_rows[order]
+        sc = all_cols[order]
+        if len(sr):
+            new_entry = np.concatenate(
+                [[True], (np.diff(sc) != 0) | (np.diff(sr) != 0)]
+            )
+        else:
+            new_entry = np.zeros(0, dtype=bool)
+        uid_sorted = np.cumsum(new_entry) - 1
+        nnz = int(uid_sorted[-1]) + 1 if len(uid_sorted) else 0
+        slot_pos = np.empty(len(all_rows), dtype=np.intp)
+        slot_pos[order] = uid_sorted
+
+        self._nnz = nnz
+        self._csc_indices = sr[new_entry].astype(np.int32)
+        counts = np.bincount(sc[new_entry], minlength=size)
+        self._csc_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int32)
+        self._lin_pos = slot_pos[: len(self._lin_rows)]
+        pad_pos = nnz  # data vectors carry one discard slot at the end
+
+        def map_pos(arr):
+            out = slot_pos[np.where(arr >= 0, arr, 0)]
+            return np.where(arr >= 0, out, pad_pos)
+
+        self._pos_normal = map_pos(pos_arrays[False])
+        self._pos_swapped = map_pos(pos_arrays[True])
+        self._rhs_normal = rhs_arrays[False]
+        self._rhs_swapped = rhs_arrays[True]
+        self._diag_pos = slot_pos[np.asarray(diag_slots, dtype=np.intp)]
+
+    # ------------------------------------------------------------------ #
+    # per-dt linear base                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _linear_values(self, dt: float) -> np.ndarray:
+        """Values of the linear conductance entries at step size ``dt``."""
+        return self._lin_const + self._lin_coef / dt
+
+    def _linear_base(self, dt: float, stats) -> tuple:
+        """The cached ``(base, factor)`` pair for step size ``dt``.
+
+        ``base`` is the padded dense matrix or the CSC data vector with
+        all linear stamps applied.  ``factor`` is a reusable
+        factorization when the circuit has no nonlinear devices (the
+        matrix is then constant for the whole ``dt``), else ``None``.
+        """
+        if self._lin_cache_dt == dt:
+            return self._lin_cache_base, self._lin_cache_factor
+        size = self.size
+        vals = self._linear_values(dt)
+        factor = None
+        if self.sparse:
+            base = np.zeros(self._nnz + 1)
+            np.add.at(base, self._lin_pos, vals)
+            if self.n_devices == 0:
+                data = base[: self._nnz].copy()
+                zero = data[self._diag_pos] == 0.0
+                if zero.any():
+                    data[self._diag_pos[zero]] = 1e-12
+                factor = self._sparse_factor(data, stats)
+        else:
+            base = np.zeros((size + 1, size + 1))
+            np.add.at(base.ravel(), self._lin_flat, vals)
+            if self.n_devices == 0:
+                G = base[:size, :size].copy()
+                flat = G.ravel()
+                diag = np.arange(self.n_nodes, dtype=np.intp) * (size + 1)
+                zero = flat[diag] == 0.0
+                if zero.any():
+                    flat[diag[zero]] = 1e-12
+                factor = self._dense_factor(G, stats)
+        self._lin_cache_dt = dt
+        self._lin_cache_base = base
+        self._lin_cache_factor = factor
+        return base, factor
+
+    def _dense_factor(self, G: np.ndarray, stats):
+        """LU-factorize a dense matrix for reuse; ``None`` if ill-posed."""
+        import scipy.linalg as sla
+
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                lu = sla.lu_factor(G, check_finite=False)
+        except (Warning, ValueError, np.linalg.LinAlgError):
+            return None
+        stats.factorizations += 1
+
+        def solve(I: np.ndarray) -> np.ndarray:
+            return sla.lu_solve(lu, I, check_finite=False)
+
+        return solve
+
+    def _sparse_factor(self, data: np.ndarray, stats):
+        """SuperLU-factorize the CSC matrix for reuse; raises on singular."""
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+
+        matrix = sp.csc_matrix(
+            (data, self._csc_indices, self._csc_indptr), shape=(self.size, self.size)
+        )
+        try:
+            lu = spla.splu(matrix)
+        except RuntimeError as exc:
+            raise SingularSystemError(str(exc)) from exc
+        stats.factorizations += 1
+        return lu.solve
+
+    # ------------------------------------------------------------------ #
+    # per-step / per-iteration assembly                                   #
+    # ------------------------------------------------------------------ #
+
+    def _rhs_base(self, xp_prev: np.ndarray, t: float, dt: float) -> np.ndarray:
+        """Source and companion-history RHS for one step (padded vector)."""
+        I = np.zeros(self.size + 1)
+        if len(self._h_coef):
+            hist = (self._h_coef / dt) * (xp_prev[self._h_a] - xp_prev[self._h_b])
+            np.add.at(I, self._h_row, hist)
+        for row, wave in zip(self._vs_rows, self._vs_waves):
+            I[row] += wave(t)
+        for ra, rb, wave in zip(self._is_rows_a, self._is_rows_b, self._is_waves):
+            value = wave(t)
+            I[ra] -= value
+            I[rb] += value
+        return I
+
+    def _device_stamps(self, xp: np.ndarray):
+        """Vectorized linearization of every MOSFET at iterate ``xp``.
+
+        Returns ``(pos, vals, rhs_pos, ieq)``: Jacobian scatter positions
+        and values ``(n, 8)``, RHS rows ``(n, 2)``, and equivalent
+        currents ``(n,)``.  The clamped form below is algebraically
+        identical to ``_MOSFET._ids`` in every operating region, so the
+        compiled system matches the reference one to rounding (a couple
+        of ulps from reassociated products).
+        """
+        beta, vt, lam, pol = self._f_beta, self._f_vt, self._f_lam, self._f_pol
+        vd = xp[self._f_d_gather] * pol
+        vg = xp[self._f_g_gather] * pol
+        vs = xp[self._f_s_gather] * pol
+        swap = vd < vs
+        vgs = vg - np.minimum(vd, vs)
+        vds = np.abs(vd - vs)
+        # Branchless square-law: clamping the effective V_ds to the
+        # overdrive folds all three regions into the triode expressions —
+        # saturation is triode evaluated at ``vds == vov`` (where the
+        # ``vov - vds`` term vanishes), cut-off is ``vov == 0``.
+        vov = np.maximum(vgs - vt, 0.0)
+        vc = np.minimum(vds, vov)
+        lam_term = 1.0 + lam * vds
+        f = vov * vc - 0.5 * (vc * vc)
+        bf = beta * f
+        ids = bf * lam_term
+        gm = beta * vc * lam_term
+        gds = beta * (vov - vc) * lam_term + bf * lam + GMIN
+        ieq = (ids - gm * vgs - gds * vds) * pol
+
+        neg_gds = -gds
+        neg_gm = -gm
+        vals = np.empty((len(beta), 8))
+        vals[:, 0] = gds
+        vals[:, 1] = gds
+        vals[:, 2] = neg_gds
+        vals[:, 3] = neg_gds
+        vals[:, 4] = gm
+        vals[:, 5] = neg_gm
+        vals[:, 6] = neg_gm
+        vals[:, 7] = gm
+        pos = np.where(swap[:, None], self._pos_swapped, self._pos_normal)
+        rhs_pos = np.where(swap[:, None], self._rhs_swapped, self._rhs_normal)
+        return pos, vals, rhs_pos, ieq
+
+    def prepare_step(self, xp_prev: np.ndarray, t: float, dt: float, stats):
+        """One time step's assembly context.
+
+        Returns ``iterate(xp) -> x_next`` performing a single Newton
+        round: stamp devices at the iterate, regularize floating nodes,
+        factorize/solve.  Raises :class:`SingularSystemError` when the
+        system cannot be solved.
+        """
+        size = self.size
+        base, factor = self._linear_base(dt, stats)
+        I_base = self._rhs_base(xp_prev, t, dt)
+
+        if self.n_devices == 0 and factor is not None:
+            x_static: Optional[np.ndarray] = None
+
+            def iterate_linear(xp: np.ndarray) -> np.ndarray:
+                nonlocal x_static
+                if x_static is None:
+                    x_static = factor(I_base[:size])
+                return x_static
+
+            return iterate_linear
+
+        if self.sparse:
+
+            def iterate_sparse(xp: np.ndarray) -> np.ndarray:
+                data = base.copy()
+                I = I_base.copy()
+                pos, vals, rhs_pos, ieq = self._device_stamps(xp)
+                np.add.at(data, pos.ravel(), vals.ravel())
+                np.add.at(I, rhs_pos[:, 0], -ieq)
+                np.add.at(I, rhs_pos[:, 1], ieq)
+                data = data[: self._nnz]
+                zero = data[self._diag_pos] == 0.0
+                if zero.any():
+                    data[self._diag_pos[zero]] = 1e-12
+                return self._sparse_factor(data, stats)(I[:size])
+
+            return iterate_sparse
+
+        from scipy.linalg.lapack import dgesv
+
+        pad_cell = size * (size + 1) + size  # flat index of (size, size)
+
+        def iterate_dense(xp: np.ndarray) -> np.ndarray:
+            G = base.copy()
+            I = I_base.copy()
+            if self.n_devices:
+                pos, vals, rhs_pos, ieq = self._device_stamps(xp)
+                np.add.at(G.ravel(), pos.ravel(), vals.ravel())
+                np.add.at(I, rhs_pos[:, 0], -ieq)
+                np.add.at(I, rhs_pos[:, 1], ieq)
+            flat = G.ravel()
+            diag = flat[self._diag_flat]
+            zero = diag == 0.0
+            if zero.any():
+                flat[self._diag_flat[zero]] = 1e-12
+            # Reset the discard slot so the padded system is exactly
+            # block-diagonal ([G 0; 0 1], rhs 0): solving the (size+1)
+            # system in one LAPACK call avoids slicing out a
+            # non-contiguous (size, size) view, and the pad unknown
+            # solves to exactly 0.
+            flat[pad_cell] = 1.0
+            I[size] = 0.0
+            stats.factorizations += 1
+            _lu, _piv, x_pad, info = dgesv(G, I)
+            if info != 0:
+                raise SingularSystemError(
+                    f"LU factorization failed (LAPACK dgesv info={info})"
+                )
+            return x_pad[:size]
+
+        return iterate_dense
+
+    # ------------------------------------------------------------------ #
+    # verification                                                        #
+    # ------------------------------------------------------------------ #
+
+    def system_matrices(self, x: np.ndarray, v_prev: np.ndarray, t: float, dt: float):
+        """Densified ``(G, I)`` as assembled by the compiled path.
+
+        Testing hook for architecture invariant 10 — compare against
+        :meth:`ReferenceAssembler.system_matrices`.  Regularization of
+        floating nodes is *not* applied (neither does the reference
+        stamping protocol itself).
+        """
+        size = self.size
+        xp = np.zeros(size + 1)
+        xp[:size] = x
+        xp_prev = np.zeros(size + 1)
+        xp_prev[:size] = v_prev
+        I = self._rhs_base(xp_prev, t, dt)
+        if self.sparse:
+            data = np.zeros(self._nnz + 1)
+            np.add.at(data, self._lin_pos, self._linear_values(dt))
+        else:
+            G = np.zeros((size + 1, size + 1))
+            np.add.at(G.ravel(), self._lin_flat, self._linear_values(dt))
+        if self.n_devices:
+            pos, vals, rhs_pos, ieq = self._device_stamps(xp)
+            target = data if self.sparse else G.ravel()
+            np.add.at(target, pos.ravel(), vals.ravel())
+            np.add.at(I, rhs_pos[:, 0], -ieq)
+            np.add.at(I, rhs_pos[:, 1], ieq)
+        if self.sparse:
+            import scipy.sparse as sp
+
+            matrix = sp.csc_matrix(
+                (data[: self._nnz], self._csc_indices, self._csc_indptr),
+                shape=(size, size),
+            )
+            return matrix.toarray(), I[:size]
+        return G[:size, :size].copy(), I[:size]
+
+
+class ReferenceAssembler:
+    """Per-iteration reference stamping (the seed solver's semantics).
+
+    Used for circuits containing opaque user elements, and by the
+    equivalence tests as the ground truth the compiled assembler must
+    match.  Above the sparse threshold it stamps into a
+    ``scipy.sparse.lil_matrix`` — the dense ``(size, size)`` matrix is
+    never materialized for large systems.
+    """
+
+    is_compiled = False
+
+    def __init__(self, circuit: Circuit, size: int, sparse: bool):
+        self.circuit = circuit
+        self.size = size
+        self.n_nodes = circuit.num_nodes
+        self.sparse = sparse
+        self.n_devices = sum(1 for e in circuit.elements if isinstance(e, _MOSFET))
+
+    def _assemble(self, x: np.ndarray, v_prev: np.ndarray, t: float, dt: float):
+        """Stamp every element; returns ``(G, I)`` (G possibly lil)."""
+        size = self.size
+        if self.sparse:
+            import scipy.sparse as sp
+
+            G = sp.lil_matrix((size, size))
+        else:
+            G = np.zeros((size, size))
+        I = np.zeros(size)
+        for element in self.circuit.elements:
+            element.stamp(G, I, x, v_prev, t, dt)
+        return G, I
+
+    def prepare_step(self, xp_prev: np.ndarray, t: float, dt: float, stats):
+        """Reference counterpart of :meth:`CompiledCircuit.prepare_step`."""
+        size, n_nodes = self.size, self.n_nodes
+        v_prev = xp_prev[:size].copy()
+
+        def iterate(xp: np.ndarray) -> np.ndarray:
+            G, I = self._assemble(xp[:size], v_prev, t, dt)
+            # Regularize rows untouched by any stamp (isolated nodes).
+            for k in range(n_nodes):
+                if G[k, k] == 0.0:
+                    G[k, k] = 1e-12
+            stats.factorizations += 1
+            if self.sparse:
+                import scipy.sparse.linalg as spla
+
+                try:
+                    lu = spla.splu(G.tocsc())
+                except RuntimeError as exc:
+                    raise SingularSystemError(str(exc)) from exc
+                return lu.solve(I)
+            try:
+                return np.linalg.solve(G, I)
+            except np.linalg.LinAlgError as exc:
+                raise SingularSystemError(str(exc)) from exc
+
+        return iterate
+
+    def system_matrices(self, x: np.ndarray, v_prev: np.ndarray, t: float, dt: float):
+        """Densified ``(G, I)`` via the reference stamping protocol."""
+        G, I = self._assemble(x, v_prev, t, dt)
+        if self.sparse:
+            G = G.toarray()
+        return G, I

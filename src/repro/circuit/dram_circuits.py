@@ -17,8 +17,12 @@ the technology parameters, ready for :class:`TransientSolver`:
   Fig. 1a.
 
 The ``simulate_*`` helpers wrap builder + solver + standard control
-waveforms and return the raw transient result, leaving measurement to
-the callers (``repro.experiments``).
+waveforms and return the raw transient result (with
+:class:`~repro.circuit.solver.SolverStats` telemetry attached), leaving
+measurement to the callers (``repro.experiments``).  Sweeps that re-run
+the refresh netlist with varying initial cell charge should hold a
+:func:`refresh_circuit_session` and pass ``initial_overrides`` instead
+of rebuilding the circuit per point.
 
 A window of a few coupled bitlines stands in for the full wordline: the
 Eq. 7 coupling is nearest-neighbour, so a 5-bitline window around the
@@ -32,7 +36,7 @@ from typing import Optional, Sequence
 
 from ..technology import BankGeometry, TechnologyParams
 from .netlist import Capacitor, Circuit, GND, NMOS, PMOS, Resistor, VoltageSource
-from .solver import TransientResult, TransientSolver
+from .solver import CircuitSession, TransientResult
 from .waveforms import constant, step
 
 #: Number of coupled bitlines simulated around the victim cell.
@@ -60,6 +64,11 @@ class RefreshPhases:
     t_eq_off: float
     t_wl_on: float
     t_sa_on: float
+
+
+#: Default refresh schedule: equalize for 1 ns, fire the wordline, then
+#: enable the sense amplifier 3 ns later (after the differential develops).
+DEFAULT_REFRESH_PHASES = RefreshPhases(t_eq_off=1.0e-9, t_wl_on=1.1e-9, t_sa_on=4.0e-9)
 
 
 def _bitline_rc(
@@ -287,7 +296,7 @@ def simulate_equalization(
 ) -> TransientResult:
     """Run the Fig. 2a equalization transient (Fig. 5 reference)."""
     circuit = build_equalization_circuit(tech, geometry)
-    return TransientSolver(circuit).run(t_stop=t_stop, dt=dt, record=["bl", "blb", "eq"])
+    return CircuitSession(circuit).simulate(t_stop, dt, record=["bl", "blb", "eq"])
 
 
 def simulate_presensing(
@@ -311,7 +320,7 @@ def simulate_presensing(
         f"cell{victim}",
         f"wl{WORDLINE_SEGMENTS - 1}",
     ]
-    return TransientSolver(circuit).run(t_stop=t_stop, dt=dt, record=record)
+    return CircuitSession(circuit).simulate(t_stop, dt, record=record)
 
 
 def simulate_refresh_trajectory(
@@ -329,8 +338,27 @@ def simulate_refresh_trajectory(
     has developed).
     """
     if phases is None:
-        phases = RefreshPhases(t_eq_off=1.0e-9, t_wl_on=1.1e-9, t_sa_on=4.0e-9)
+        phases = DEFAULT_REFRESH_PHASES
     circuit = build_refresh_circuit(tech, geometry, phases, v_cell_initial=v_cell_initial)
-    return TransientSolver(circuit).run(
-        t_stop=t_stop, dt=dt, record=["cell", "bl", "blb", "bl_sa", "blb_sa"]
+    return CircuitSession(circuit).simulate(
+        t_stop, dt, record=["cell", "bl", "blb", "bl_sa", "blb_sa"]
     )
+
+
+def refresh_circuit_session(
+    tech: TechnologyParams,
+    geometry: BankGeometry,
+    phases: Optional[RefreshPhases] = None,
+) -> CircuitSession:
+    """A reusable compiled session over the full refresh netlist.
+
+    Sweeps that vary only the initial cell charge (the MPRSF retention
+    sweep, Fig. 1a trajectories) should run this one session with
+    ``initial_overrides={"cell": v}`` rather than rebuilding and
+    re-assembling the circuit per point — the compiled MNA structure is
+    shared across all runs.
+    """
+    if phases is None:
+        phases = DEFAULT_REFRESH_PHASES
+    circuit = build_refresh_circuit(tech, geometry, phases)
+    return CircuitSession(circuit)

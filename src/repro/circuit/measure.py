@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from .netlist import VoltageSource
-from .solver import TransientResult
+from .solver import SolverStats, TransientResult
 
 
 def value_at(result: TransientResult, node: str, t: float) -> float:
@@ -109,3 +109,14 @@ def delivered_energy(result: TransientResult, source: VoltageSource) -> float:
     current = result.current(source.name)
     voltage = np.array([source.waveform(float(t)) for t in result.time])
     return float(np.trapezoid(voltage * current, result.time))
+
+
+def combined_stats(*results: TransientResult) -> SolverStats:
+    """Aggregate solver telemetry across several transient results.
+
+    Experiment drivers that run multiple phases (equalization, charge
+    sharing, sensing, ...) use this to report one
+    :class:`~repro.circuit.solver.SolverStats` line for the whole suite.
+    Results without stats (hand-built ones) contribute nothing.
+    """
+    return SolverStats.combined(r.stats for r in results)

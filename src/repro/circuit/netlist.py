@@ -7,15 +7,24 @@ modified-nodal-analysis system; the stamping protocol is:
 
 ``stamp(G, I, x, v_prev, t, dt)`` where
 
-* ``G`` — dense conductance/Jacobian matrix being accumulated,
+* ``G`` — conductance/Jacobian matrix being accumulated,
 * ``I`` — right-hand-side current vector,
 * ``x`` — current Newton iterate of node voltages (for linearization),
 * ``v_prev`` — node voltages at the previous accepted time point
   (for capacitor companion models),
 * ``t``/``dt`` — current time and step.
 
-Voltage sources get an extra MNA branch-current unknown, allocated by
-the circuit when the element is added.
+Voltage sources and inductors get an extra MNA branch-current unknown,
+allocated by the circuit when the system is assembled.
+
+``stamp`` is the *reference* protocol: it defines the MNA system and is
+what custom user elements implement.  The production solver does not
+call it on the hot path — :mod:`repro.circuit.compiled` extracts the
+structure of the library element types once (:meth:`Circuit.partition`)
+and re-stamps only the nonlinear devices, vectorized, per Newton
+iteration.  Both paths must produce identical systems (architecture
+invariant 10); circuits containing elements with custom ``stamp``
+arithmetic transparently fall back to the reference path.
 """
 
 from __future__ import annotations
@@ -196,6 +205,44 @@ class CurrentSource(Element):
         self._add_rhs(I, ib, value)
 
 
+class Inductor(Element):
+    """Linear inductor between ``a`` and ``b`` with optional initial current.
+
+    Carries an MNA branch-current unknown ``i`` (positive ``a`` → ``b``).
+    During transient analysis the backward-Euler companion model enforces
+    ``V(a) - V(b) = (L/dt) * (i - i_prev)`` — a branch "resistance"
+    ``L/dt`` in series with a history voltage.  ``ic``, when given, sets
+    the branch current at ``t = 0``.
+    """
+
+    def __init__(self, name: str, a: str, b: str, inductance: float, ic: Optional[float] = None):
+        super().__init__(name)
+        if inductance <= 0:
+            raise ValueError(f"{name}: inductance must be positive, got {inductance}")
+        self.a = a
+        self.b = b
+        self.inductance = inductance
+        self.ic = ic
+
+    def nodes(self) -> List[str]:
+        return [self.a, self.b]
+
+    def needs_branch(self) -> bool:
+        return True
+
+    def stamp(self, G, I, x, v_prev, t, dt) -> None:
+        ia, ib = self._indices
+        k = self._branch_index
+        req = self.inductance / dt
+        i_prev = float(v_prev[k])
+        self._add(G, ia, k, 1.0)
+        self._add(G, ib, k, -1.0)
+        self._add(G, k, ia, 1.0)
+        self._add(G, k, ib, -1.0)
+        self._add(G, k, k, -req)
+        self._add_rhs(I, k, -req * i_prev)
+
+
 class _MOSFET(Element):
     """Square-law (SPICE level-1) MOSFET, symmetric in drain/source.
 
@@ -361,7 +408,7 @@ class Circuit:
         """Bind element terminals to matrix indices; returns system size.
 
         The system has one unknown per non-ground node plus one per
-        voltage-source branch.
+        branch element (voltage source or inductor).
         """
         n_nodes = self.num_nodes
         branch = n_nodes
@@ -374,8 +421,44 @@ class Circuit:
                 element.bind(indices)
         return branch
 
+    def partition(self) -> "tuple[List[Element], List[Element], List[Element]]":
+        """Split the elements into ``(linear, nonlinear, opaque)``.
+
+        *Linear* elements (R, L, C, V/I sources) have conductance stamps
+        that are constant for a fixed ``dt``, so the compiled assembler
+        (:mod:`repro.circuit.compiled`) stamps them once per step size.
+        *Nonlinear* elements (square-law MOSFETs) must be re-linearized
+        every Newton iteration.  *Opaque* elements are user subclasses
+        with custom ``stamp`` arithmetic the compiler cannot describe —
+        a circuit containing any falls back to reference stamping.
+        """
+        linear: List[Element] = []
+        nonlinear: List[Element] = []
+        opaque: List[Element] = []
+        for element in self.elements:
+            cls = type(element)
+            if isinstance(element, Resistor) and cls.stamp is Resistor.stamp:
+                linear.append(element)
+            elif isinstance(element, Capacitor) and cls.stamp is Capacitor.stamp:
+                linear.append(element)
+            elif isinstance(element, Inductor) and cls.stamp is Inductor.stamp:
+                linear.append(element)
+            elif isinstance(element, VoltageSource) and cls.stamp is VoltageSource.stamp:
+                linear.append(element)
+            elif isinstance(element, CurrentSource) and cls.stamp is CurrentSource.stamp:
+                linear.append(element)
+            elif (
+                isinstance(element, _MOSFET)
+                and cls.stamp is _MOSFET.stamp
+                and cls._ids is _MOSFET._ids
+            ):
+                nonlinear.append(element)
+            else:
+                opaque.append(element)
+        return linear, nonlinear, opaque
+
     def initial_state(self, size: int) -> np.ndarray:
-        """Initial unknown vector honoring ``set_initial`` and capacitor ICs."""
+        """Initial unknown vector honoring ``set_initial`` and L/C ICs."""
         x = np.zeros(size)
         for node, voltage in self._initial.items():
             x[self._node_index[node]] = voltage
@@ -386,4 +469,6 @@ class Circuit:
                 vb = 0.0 if ib < 0 else x[ib]
                 if ia >= 0:
                     x[ia] = vb + element.ic
+            elif isinstance(element, Inductor) and element.ic is not None:
+                x[element._branch_index] = element.ic
         return x

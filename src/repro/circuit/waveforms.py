@@ -4,6 +4,13 @@ A waveform is any callable ``f(t) -> volts``.  These factories cover
 everything the DRAM netlists need: constants, steps with finite rise
 time, pulses, and general piecewise-linear sources (the SPICE ``PWL``
 primitive).
+
+Factories annotate the returned callable with a ``breakpoints``
+attribute — the times where the waveform's slope is discontinuous.
+The adaptive integrator (:meth:`CircuitSession.simulate`) harvests
+these so a variable time step always lands exactly on source events
+instead of smearing them across a long step.  Custom waveforms may set
+the same attribute; callables without it are treated as smooth.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ def step(v_initial: float, v_final: float, t_step: float, t_rise: float = 10e-12
         frac = (t - t_step) / t_rise
         return v_initial + frac * (v_final - v_initial)
 
+    _wave.breakpoints = (t_step, t_step + t_rise)
     return _wave
 
 
@@ -61,6 +69,7 @@ def pulse(
     def _wave(t: float) -> float:
         return rising(t) + falling(t)
 
+    _wave.breakpoints = rising.breakpoints + falling.breakpoints
     return _wave
 
 
@@ -87,4 +96,5 @@ def piecewise_linear(points: Sequence[tuple[float, float]]) -> Waveform:
                 return v1 + frac * (v2 - v1)
         raise AssertionError("unreachable: t within PWL range but no segment found")
 
+    _wave.breakpoints = tuple(times)
     return _wave

@@ -16,15 +16,21 @@ predictions against SPICE-lite transients:
 
 Each row reports the model prediction, the circuit measurement, and the
 relative error — the evidence behind "our analytical model can
-accurately estimate tRFC" (Sec. 1).
+accurately estimate tRFC" (Sec. 1).  The aggregated
+:class:`~repro.circuit.solver.SolverStats` across every transient is
+surfaced in the result notes so a degenerate solver run (no Newton
+iterations, no accepted steps) cannot masquerade as agreement.
 """
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 import numpy as np
 
 from ..circuit import (
-    TransientSolver,
+    CircuitSession,
+    SolverStats,
     build_charge_sharing_circuit,
     build_sense_amplifier_circuit,
     delivered_energy,
@@ -35,6 +41,8 @@ from ..model import EqualizationModel, PostSensingModel, PreSensingModel
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
 from .result import ExperimentResult
 
+Row = Tuple[str, str, str, str]
+
 
 def _equalization_row(tech: TechnologyParams, geometry: BankGeometry):
     model = EqualizationModel(tech, geometry)
@@ -42,24 +50,27 @@ def _equalization_row(tech: TechnologyParams, geometry: BankGeometry):
     t = 1.5e-9
     predicted = model.voltage(t - 0.05e-9)
     measured = spice.at("bl", t)
-    return (
+    row = (
         "equalization: V(bl) at 1.5 ns",
         f"{predicted:.4f} V",
         f"{measured:.4f} V",
         f"{100 * abs(predicted - measured) / max(measured, 1e-9):.1f}%",
     )
+    return row, spice.stats
 
 
 def _vsense_rows(tech: TechnologyParams, geometry: BankGeometry):
     model = PreSensingModel(tech, geometry)
-    rows = []
+    rows: List[Row] = []
+    stats = SolverStats()
     for label, pattern in (("all ones", [1] * 5), ("alternating", [1, 0, 1, 0, 1])):
         # The circuit includes the wordline kick through C_bw, which
         # Eq. 6 omits (see PreSensingModel.wordline_kick); add it to the
         # closed-form solution for a like-for-like comparison.
         predicted = float(model.vsense_pattern(pattern)[2]) + model.wordline_kick
         circuit = build_charge_sharing_circuit(tech, geometry, data_pattern=pattern)
-        result = TransientSolver(circuit).run(t_stop=15e-9, dt=20e-12, record=["bl2_sa"])
+        result = CircuitSession(circuit).simulate(15e-9, 20e-12, record=["bl2_sa"])
+        stats.merge(result.stats)
         measured = float(result["bl2_sa"][-1]) - tech.veq
         rows.append(
             (
@@ -69,20 +80,21 @@ def _vsense_rows(tech: TechnologyParams, geometry: BankGeometry):
                 f"{100 * abs(predicted - measured) / max(abs(measured), 1e-9):.1f}%",
             )
         )
-    return rows
+    return rows, stats
 
 
 def _sense_amp_row(tech: TechnologyParams, geometry: BankGeometry):
     margin = PreSensingModel(tech, geometry).effective_sense_margin()
     circuit = build_sense_amplifier_circuit(tech, geometry, delta_v=margin)
-    result = TransientSolver(circuit).run(t_stop=30e-9, dt=20e-12, record=["bl", "blb"])
+    result = CircuitSession(circuit).simulate(30e-9, 20e-12, record=["bl", "blb"])
     resolved = result["bl"][-1] > 0.9 * tech.vdd and result["blb"][-1] < 0.1 * tech.vdd
-    return (
+    row = (
         "sense amp: latches at the modeled margin",
         f"margin {1e3 * margin:.0f} mV",
         "resolved" if resolved else "FAILED",
         "ok" if resolved else "mismatch",
     )
+    return row, result.stats
 
 
 def _restore_row(tech: TechnologyParams, geometry: BankGeometry):
@@ -96,7 +108,7 @@ def _restore_row(tech: TechnologyParams, geometry: BankGeometry):
     circuit = build_refresh_circuit(tech, geometry, phases, v_cell_initial=tech.v_fail)
     # dt = 10 ps: at the settled worst-case differential (~33 mV) the
     # latch is genuinely marginal and a coarser step can flip it.
-    result = TransientSolver(circuit).run(t_stop=25 * tck, dt=10e-12, record=["cell"])
+    result = CircuitSession(circuit).simulate(25 * tck, 10e-12, record=["cell"])
     cell = result["cell"]
     t = result.time
     after = t > phases.t_sa_on
@@ -109,12 +121,13 @@ def _restore_row(tech: TechnologyParams, geometry: BankGeometry):
     t90 = float(ts[np.argmax(v >= lvl90)])
     # For a single exponential, t(90%) - t(50%) = tau (ln10 - ln2).
     tau_circuit = (t90 - t50) / (np.log(10.0) - np.log(2.0))
-    return (
+    row = (
         "restore: exponential time constant",
         f"{1e9 * tau_model:.2f} ns",
         f"{1e9 * tau_circuit:.2f} ns",
         f"{100 * abs(tau_model - tau_circuit) / tau_circuit:.0f}%",
     )
+    return row, result.stats
 
 
 def _energy_row(tech: TechnologyParams, geometry: BankGeometry):
@@ -122,8 +135,8 @@ def _energy_row(tech: TechnologyParams, geometry: BankGeometry):
     phases = RefreshPhases(t_eq_off=1 * tck, t_wl_on=3 * tck, t_sa_on=5 * tck)
     circuit = build_refresh_circuit(tech, geometry, phases, v_cell_initial=tech.v_fail)
     source = next(e for e in circuit.elements if e.name == "V_dd_rail")
-    result = TransientSolver(circuit).run(
-        t_stop=19 * tck, dt=20e-12, record=["cell"], record_currents=["V_dd_rail"]
+    result = CircuitSession(circuit).simulate(
+        19 * tck, 20e-12, record=["cell"], record_currents=["V_dd_rail"]
     )
     e_full = delivered_energy(result, source)
     cutoff = result.time <= 11 * tck
@@ -131,12 +144,13 @@ def _energy_row(tech: TechnologyParams, geometry: BankGeometry):
     e_partial = float(
         np.trapezoid(np.full(current.shape, tech.vdd) * current, result.time[cutoff])
     )
-    return (
+    row = (
         "energy: array share drawn by partial cutoff",
         "~100% (model assumes duration-independent)",
         f"{100 * e_partial / e_full:.1f}%",
         "ok" if e_partial / e_full > 0.95 else "mismatch",
     )
+    return row, result.stats
 
 
 def run_validation(
@@ -144,11 +158,20 @@ def run_validation(
     geometry: BankGeometry = DEFAULT_GEOMETRY,
 ) -> ExperimentResult:
     """Run the five-phase model-vs-circuit validation suite."""
-    rows = [_equalization_row(tech, geometry)]
-    rows.extend(_vsense_rows(tech, geometry))
-    rows.append(_sense_amp_row(tech, geometry))
-    rows.append(_restore_row(tech, geometry))
-    rows.append(_energy_row(tech, geometry))
+    total = SolverStats()
+    rows: List[Row] = []
+
+    row, stats = _equalization_row(tech, geometry)
+    rows.append(row)
+    total.merge(stats)
+    vrows, stats = _vsense_rows(tech, geometry)
+    rows.extend(vrows)
+    total.merge(stats)
+    for helper in (_sense_amp_row, _restore_row, _energy_row):
+        row, stats = helper(tech, geometry)
+        rows.append(row)
+        total.merge(stats)
+
     return ExperimentResult(
         experiment_id="VALID",
         title="Model vs SPICE-lite across the refresh chain",
@@ -164,5 +187,6 @@ def run_validation(
                 "worst-case (marginal) differential, which the single-pole Eq. 12 "
                 "folds into t2; expect tens of percent here, not single digits"
             ),
+            "solver": total.summary(),
         },
     )

@@ -22,7 +22,7 @@ iterations (finite MPRSF) — exactly the behaviour of Fig. 1b.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +53,10 @@ class MPRSFCalculator:
         self.geometry = geometry
         self.model = refresh_model or RefreshLatencyModel(tech, geometry)
         self.leakage = LeakageModel(tech)
+        # One compiled CircuitSession per refresh timing, lazily built by
+        # circuit_restored_fraction; keyed on the phase schedule so a
+        # retention sweep reuses the same compiled MNA structure.
+        self._sessions: Dict[Tuple[float, float, float, float], object] = {}
 
     def charge_trajectory(
         self,
@@ -149,6 +153,57 @@ class MPRSFCalculator:
                 return issued_partials
             fraction = self.model.restored_fraction(decayed, timing)
         return max_count
+
+    def circuit_restored_fraction(
+        self,
+        start_fraction: float,
+        timing: RefreshTiming,
+        dt: float = 10e-12,
+        adaptive: bool = True,
+    ) -> float:
+        """Circuit-level cross-check of Eq. 12's ``restored_fraction``.
+
+        Simulates the full refresh chain (Fig. 2d netlist) with the cell
+        pre-leaked to ``start_fraction`` of ``V_dd`` and the control
+        phases mapped from ``timing`` the same way FIG1A maps them, then
+        reads the cell charge at the timing's tRFC.  The compiled
+        :class:`~repro.circuit.CircuitSession` is cached per timing and
+        re-run with ``initial_overrides`` per retention point, so a sweep
+        pays circuit assembly once.
+
+        Args:
+            start_fraction: cell charge fraction when the refresh starts.
+            timing: the refresh timing whose restoration to measure.
+            dt: sampling step for the returned trajectory.
+            adaptive: use adaptive stepping (the default; the fixed-step
+                path is bit-compatible with the seed solver but ~10x
+                slower).
+
+        Returns:
+            The cell's charge fraction of ``V_dd`` at ``timing.total_seconds``.
+        """
+        from ..circuit import CircuitSession
+        from ..circuit.dram_circuits import RefreshPhases, build_refresh_circuit
+
+        tck = self.tech.tck_ctrl
+        t_eq_off = timing.tau_eq * tck
+        t_wl_on = (timing.tau_eq + timing.tau_fixed // 2) * tck
+        t_sa_on = t_wl_on + timing.tau_pre * tck
+        key = (t_eq_off, t_wl_on, t_sa_on, timing.total_seconds)
+        session = self._sessions.get(key)
+        if session is None:
+            phases = RefreshPhases(t_eq_off=t_eq_off, t_wl_on=t_wl_on, t_sa_on=t_sa_on)
+            circuit = build_refresh_circuit(self.tech, self.geometry, phases)
+            session = CircuitSession(circuit)
+            self._sessions[key] = session
+        result = session.simulate(
+            timing.total_seconds,
+            dt,
+            record=["cell"],
+            adaptive=adaptive,
+            initial_overrides={"cell": start_fraction * self.tech.vdd},
+        )
+        return float(result["cell"][-1]) / self.tech.vdd
 
     def mprsf_for_rows(
         self,

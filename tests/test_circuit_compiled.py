@@ -1,0 +1,378 @@
+"""Compiled-assembly and adaptive-stepping tests for the circuit stack.
+
+Covers architecture invariant 10 (compiled and naive stamping produce
+identical MNA systems), hypothesis property tests pinning the solver
+against analytic RC/RLC solutions, compiled-vs-naive waveform
+equivalence on every Fig. 2 netlist, the sparse stamping path, the
+adaptive integrator, session reuse, and the SolverStats telemetry.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CircuitSession,
+    CurrentSource,
+    Element,
+    GND,
+    Inductor,
+    NMOS,
+    PMOS,
+    Resistor,
+    SolverStats,
+    TransientResult,
+    VoltageSource,
+    build_charge_sharing_circuit,
+    build_equalization_circuit,
+    build_refresh_circuit,
+    build_sense_amplifier_circuit,
+    pulse,
+    refresh_circuit_session,
+    step,
+)
+from repro.circuit.compiled import CompiledCircuit, ReferenceAssembler
+from repro.circuit.dram_circuits import DEFAULT_REFRESH_PHASES
+from repro.circuit.solver import SPARSE_THRESHOLD
+from repro.technology import BankGeometry, DEFAULT_TECH
+
+TECH = DEFAULT_TECH
+SMALL = BankGeometry(2048, 32)
+
+
+def _rc_circuit(r, c, v0):
+    """A discharging RC: capacitor at ``v0`` bleeding through ``r``."""
+    circuit = Circuit(name="rc")
+    circuit.add(Resistor("R1", "out", GND, r))
+    circuit.add(Capacitor("C1", "out", GND, c, ic=v0))
+    return circuit
+
+
+class TestAnalyticAccuracy:
+    """Property tests pinning the solver against closed-form solutions."""
+
+    @given(
+        r=st.floats(min_value=1e3, max_value=1e6),
+        c=st.floats(min_value=1e-15, max_value=1e-12),
+        v0=st.floats(min_value=0.1, max_value=2.0),
+        steps=st.integers(min_value=20, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rc_discharge_matches_analytic(self, r, c, v0, steps):
+        """Backward Euler tracks ``v0 exp(-t/RC)`` to its O(dt) error bound."""
+        tau = r * c
+        t_stop = 3.0 * tau
+        dt = t_stop / steps
+        result = CircuitSession(_rc_circuit(r, c, v0)).simulate(
+            t_stop, dt, record=["out"]
+        )
+        exact = v0 * np.exp(-result.time / tau)
+        # Global BE error for exponential decay is bounded by
+        # sup_t |t/(2 tau^2)| e^{1-t/tau} * dt * v0 <= (e/ 2 tau) dt v0.
+        tol = 0.7 * v0 * dt / tau + 1e-9
+        assert float(np.max(np.abs(result["out"] - exact))) < tol
+
+    @given(
+        r=st.floats(min_value=1.0, max_value=20.0),
+        steps=st.integers(min_value=400, max_value=1200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rlc_underdamped_matches_analytic(self, r, steps):
+        """Series RLC ringdown matches the damped-cosine closed form."""
+        L = 1e-9
+        c = 1e-12
+        v0 = 1.0
+        alpha = r / (2.0 * L)
+        w0sq = 1.0 / (L * c)
+        assert alpha * alpha < w0sq  # underdamped by construction
+        wd = math.sqrt(w0sq - alpha * alpha)
+
+        circuit = Circuit(name="rlc")
+        circuit.add(Capacitor("C1", "vc", GND, c, ic=v0))
+        circuit.add(Resistor("R1", "vc", "mid", r))
+        circuit.add(Inductor("L1", "mid", GND, L))
+        session = CircuitSession(circuit)
+        t_stop = 2.0 * math.pi / wd  # one ring period
+        dt = t_stop / steps
+        result = session.simulate(t_stop, dt, record=["vc"])
+        t = result.time
+        exact = v0 * np.exp(-alpha * t) * (
+            np.cos(wd * t) + (alpha / wd) * np.sin(wd * t)
+        )
+        # First-order integration of an oscillator: error ~ w0 dt per
+        # radian of phase, accumulated over one period.
+        tol = 8.0 * v0 * math.sqrt(w0sq) * dt + 1e-9
+        assert float(np.max(np.abs(result["vc"] - exact))) < tol
+
+    def test_rc_adaptive_matches_analytic(self):
+        """The adaptive path hits the same analytic curve within lte_tol."""
+        r, c, v0 = 1e5, 1e-13, 1.5
+        tau = r * c
+        session = CircuitSession(_rc_circuit(r, c, v0))
+        result = session.simulate(3 * tau, tau / 100, record=["out"], adaptive=True)
+        exact = v0 * np.exp(-result.time / tau)
+        assert float(np.max(np.abs(result["out"] - exact))) < 0.02 * v0
+        assert result.stats.accepted_steps > 0
+
+
+FIG2_NETLISTS = {
+    "equalization": lambda: build_equalization_circuit(TECH, SMALL),
+    "charge-sharing": lambda: build_charge_sharing_circuit(TECH, SMALL),
+    "sense-amp": lambda: build_sense_amplifier_circuit(TECH, SMALL, delta_v=0.1),
+    "refresh": lambda: build_refresh_circuit(TECH, SMALL, DEFAULT_REFRESH_PHASES),
+}
+
+
+class TestCompiledNaiveEquivalence:
+    @pytest.mark.parametrize("name", sorted(FIG2_NETLISTS))
+    def test_waveforms_agree_on_fig2_netlists(self, name):
+        """Compiled and naive stamping integrate to the same trajectories."""
+        build = FIG2_NETLISTS[name]
+        compiled = CircuitSession(build()).simulate(2e-9, 10e-12)
+        naive = CircuitSession(build(), assembly="naive").simulate(2e-9, 10e-12)
+        assert compiled.nodes == naive.nodes
+        for node in compiled.nodes:
+            np.testing.assert_allclose(
+                compiled[node], naive[node], atol=1e-6, rtol=0,
+                err_msg=f"{name}:{node}",
+            )
+
+    @pytest.mark.parametrize("name", sorted(FIG2_NETLISTS))
+    def test_identical_mna_systems(self, name):
+        """Invariant 10: both assemblers produce the same (G, I) system.
+
+        Checked at a mid-trajectory state so the MOSFETs sit in mixed
+        operating regions, not just at the initial condition.
+        """
+        build = FIG2_NETLISTS[name]
+        circuit = build()
+        session = CircuitSession(circuit)
+        assert isinstance(session.assembler, CompiledCircuit)
+        size = circuit.assemble()
+        mid = CircuitSession(build()).simulate(1e-9, 10e-12)
+        x = np.zeros(size)
+        for node in mid.nodes:
+            x[circuit.node_id(node)] = mid[node][-1]
+        v_prev = 0.95 * x
+        reference = ReferenceAssembler(circuit, size, sparse=False)
+        G_ref, I_ref = reference.system_matrices(x, v_prev, t=1e-9, dt=10e-12)
+        G_cmp, I_cmp = session.assembler.system_matrices(x, v_prev, t=1e-9, dt=10e-12)
+        np.testing.assert_allclose(G_cmp, G_ref, rtol=1e-12, atol=0)
+        np.testing.assert_allclose(I_cmp, I_ref, rtol=1e-11, atol=1e-18)
+
+    def test_newton_iteration_counts_match(self):
+        """Same damped-Newton trajectory => same iteration count."""
+        compiled = CircuitSession(FIG2_NETLISTS["refresh"]()).simulate(2e-9, 10e-12)
+        naive = CircuitSession(FIG2_NETLISTS["refresh"](), assembly="naive").simulate(
+            2e-9, 10e-12
+        )
+        assert compiled.newton_iterations == naive.newton_iterations
+
+
+class _SquishySource(Element):
+    """Custom element with opaque stamp arithmetic (a nonlinear leak)."""
+
+    def __init__(self, name, node):
+        super().__init__(name)
+        self.node = node
+
+    def nodes(self):
+        return [self.node]
+
+    def stamp(self, G, I, x, v_prev, t, dt):
+        idx = self._indices[0]
+        G[idx, idx] += 1e-6 * (1.0 + x[idx] * x[idx])
+
+
+class TestPartitionAndFallback:
+    def test_library_elements_compile(self):
+        session = CircuitSession(FIG2_NETLISTS["refresh"]())
+        assembler = session.assembler
+        assert isinstance(assembler, CompiledCircuit)
+        assert assembler.is_compiled
+        assert assembler.n_devices > 0
+
+    def test_custom_element_falls_back_to_reference(self):
+        circuit = _rc_circuit(1e4, 1e-13, 1.0)
+        circuit.add(_SquishySource("X1", "out"))
+        session = CircuitSession(circuit)
+        assert isinstance(session.assembler, ReferenceAssembler)
+        assert not session.assembler.is_compiled
+        result = session.simulate(1e-10, 1e-12, record=["out"])
+        assert np.all(np.isfinite(result["out"]))
+
+    def test_partition_classifies_elements(self):
+        circuit = FIG2_NETLISTS["refresh"]()
+        circuit.assemble()
+        linear, nonlinear, opaque = circuit.partition()
+        assert not opaque
+        assert all(isinstance(e, (NMOS, PMOS)) for e in nonlinear)
+        assert len(linear) + len(nonlinear) == len(circuit.elements)
+
+    def test_session_recompiles_after_element_add(self):
+        circuit = _rc_circuit(1e4, 1e-13, 1.0)
+        session = CircuitSession(circuit)
+        first = session.assembler
+        circuit.add(Resistor("R2", "out", GND, 1e5))
+        assert session.assembler is not first
+
+
+class TestSparsePath:
+    def _ladder(self, n):
+        """An RC ladder with > n unknowns driven by a step source."""
+        circuit = Circuit(name="ladder")
+        circuit.add(VoltageSource("V1", "n0", GND, step(0.0, 1.0, 1e-11)))
+        for k in range(n):
+            circuit.add(Resistor(f"R{k}", f"n{k}", f"n{k + 1}", 1e3))
+            circuit.add(Capacitor(f"C{k}", f"n{k + 1}", GND, 1e-14))
+        return circuit
+
+    def test_large_circuit_uses_sparse_compiled_path(self):
+        n = SPARSE_THRESHOLD + 20
+        session = CircuitSession(self._ladder(n))
+        assembler = session.assembler
+        assert isinstance(assembler, CompiledCircuit)
+        assert assembler.sparse
+        result = session.simulate(1e-9, 1e-11, record=[f"n{n}"])
+        assert np.all(np.isfinite(result[f"n{n}"]))
+        # Linear circuit at fixed dt: one factorization total, reused
+        # across every step — the telemetry proves the sparse cache works.
+        assert result.stats.factorizations == 1
+
+    def test_small_circuit_stays_dense(self):
+        session = CircuitSession(self._ladder(40))
+        assert not session.assembler.sparse
+
+    def test_sparse_mosfet_circuit_matches_naive(self):
+        """A >threshold netlist with devices: sparse compiled vs naive."""
+        n = SPARSE_THRESHOLD + 10
+
+        def build():
+            circuit = self._ladder(n)
+            circuit.add(NMOS("M1", d=f"n{n}", g="n1", s=GND, beta=1e-4, vt=0.4))
+            return circuit
+
+        compiled = CircuitSession(build()).simulate(2e-11, 1e-12, record=[f"n{n}"])
+        naive = CircuitSession(build(), assembly="naive").simulate(
+            2e-11, 1e-12, record=[f"n{n}"]
+        )
+        np.testing.assert_allclose(compiled[f"n{n}"], naive[f"n{n}"], atol=1e-6)
+
+
+class TestAdaptiveStepping:
+    def test_refresh_waveforms_match_fixed_within_tolerance(self):
+        session = refresh_circuit_session(TECH, SMALL)
+        record = ["cell", "bl", "blb"]
+        fixed = session.simulate(30e-9, 5e-12, record=record)
+        adaptive = session.simulate(30e-9, 5e-12, record=record, adaptive=True)
+        assert adaptive.time.shape == fixed.time.shape
+        for node in record:
+            assert float(np.max(np.abs(adaptive[node] - fixed[node]))) < 10e-3
+
+    def test_adaptive_does_less_work(self):
+        session = refresh_circuit_session(TECH, SMALL)
+        fixed = session.simulate(30e-9, 5e-12, record=["cell"])
+        adaptive = session.simulate(30e-9, 5e-12, record=["cell"], adaptive=True)
+        assert adaptive.stats.newton_iterations < fixed.stats.newton_iterations / 2
+        assert adaptive.stats.accepted_steps < fixed.stats.accepted_steps
+
+    def test_stats_non_degenerate(self):
+        session = refresh_circuit_session(TECH, SMALL)
+        result = session.simulate(30e-9, 5e-12, record=["cell"], adaptive=True)
+        stats = result.stats
+        assert stats.newton_iterations > 0
+        assert stats.factorizations > 0
+        assert stats.accepted_steps > 0
+        assert stats.newton_iterations >= stats.accepted_steps
+
+    def test_breakpoints_are_harvested_from_waveforms(self):
+        wave = step(0.0, 1.0, 2e-9, t_rise=1e-11)
+        assert wave.breakpoints == (2e-9, 2e-9 + 1e-11)
+        train = pulse(0.0, 1.0, 1e-9, width=2e-9)
+        assert len(train.breakpoints) == 4
+        circuit = Circuit(name="bp")
+        circuit.add(VoltageSource("V1", "in", GND, wave))
+        circuit.add(Resistor("R1", "in", "out", 1e3))
+        circuit.add(Capacitor("C1", "out", GND, 1e-13))
+        session = CircuitSession(circuit)
+        harvested = session._harvest_breakpoints(10e-9, None)
+        assert list(harvested) == [2e-9, 2e-9 + 1e-11]
+
+    def test_adaptive_lands_on_late_step(self):
+        """A step late in the run is not smeared by a grown step size."""
+        circuit = Circuit(name="late-step")
+        circuit.add(VoltageSource("V1", "in", GND, step(0.0, 1.0, 8e-9, t_rise=1e-11)))
+        circuit.add(Resistor("R1", "in", "out", 1e3))
+        circuit.add(Capacitor("C1", "out", GND, 1e-14))
+        session = CircuitSession(circuit)
+        result = session.simulate(10e-9, 1e-11, record=["out"], adaptive=True)
+        # Before the step the output is flat 0; after, it charges to 1.
+        assert abs(result.at("out", 7.9e-9)) < 1e-6
+        assert result.at("out", 9.9e-9) > 0.99
+
+
+class TestSessionApi:
+    def test_initial_overrides_set_start_voltage(self):
+        session = refresh_circuit_session(TECH, SMALL)
+        for v in (0.5, 0.7):
+            result = session.simulate(1e-10, 1e-12, record=["cell"],
+                                      initial_overrides={"cell": v})
+            assert result["cell"][0] == pytest.approx(v)
+
+    def test_initial_overrides_reject_ground_and_unknown(self):
+        session = refresh_circuit_session(TECH, SMALL)
+        with pytest.raises(KeyError, match="ground"):
+            session.simulate(1e-10, 1e-12, initial_overrides={GND: 1.0})
+        with pytest.raises(KeyError):
+            session.simulate(1e-10, 1e-12, initial_overrides={"no_such_node": 1.0})
+
+    def test_invalid_assembly_mode_rejected(self):
+        with pytest.raises(ValueError, match="assembly"):
+            CircuitSession(Circuit(name="x"), assembly="turbo")
+
+    def test_transient_result_currents_not_shared(self):
+        """The dataclass default is a per-instance dict, not a shared one."""
+        a = TransientResult(time=np.zeros(1), voltages={})
+        b = TransientResult(time=np.zeros(1), voltages={})
+        a.currents["x"] = np.ones(1)
+        assert b.currents == {}
+
+    def test_solver_stats_merge_and_summary(self):
+        a = SolverStats(newton_iterations=3, factorizations=2, accepted_steps=1)
+        b = SolverStats(newton_iterations=4, rejected_steps=5, subdivisions=6)
+        total = SolverStats.combined([a, b, None])
+        assert total.newton_iterations == 7
+        assert total.factorizations == 2
+        assert total.rejected_steps == 5
+        assert total.subdivisions == 6
+        text = total.summary()
+        assert "newton=7" in text and "rejected=5" in text
+
+
+class TestInductorElement:
+    def test_rejects_nonpositive_inductance(self):
+        with pytest.raises(ValueError, match="inductance"):
+            Inductor("L1", "a", "b", 0.0)
+
+    def test_initial_current_flows(self):
+        """An inductor with ic drives its current through a resistor."""
+        circuit = Circuit(name="li")
+        circuit.add(Inductor("L1", "out", GND, 1e-9, ic=1e-3))
+        circuit.add(Resistor("R1", "out", GND, 1e3))
+        result = CircuitSession(circuit).simulate(1e-12, 1e-13, record=["out"])
+        # One backward-Euler step of the L/R loop: the 1 mA loop current
+        # pulls the node to -(L/dt) i0 / (1 + (L/dt)/R) = -10/11 V.
+        assert result["out"][1] == pytest.approx(-10.0 / 11.0, rel=1e-6)
+
+    def test_current_source_compiles(self):
+        circuit = Circuit(name="cs")
+        circuit.add(CurrentSource("I1", GND, "out", 1e-6))
+        circuit.add(Resistor("R1", "out", GND, 1e3))
+        session = CircuitSession(circuit)
+        assert isinstance(session.assembler, CompiledCircuit)
+        result = session.simulate(1e-10, 1e-12, record=["out"])
+        assert result["out"][-1] == pytest.approx(1e-3, rel=1e-6)

@@ -51,3 +51,17 @@ class TestValidationSuite:
         model_ns = float(row[1].split()[0])
         circuit_ns = float(row[2].split()[0])
         assert 0.2 < model_ns / circuit_ns < 5.0
+
+    def test_solver_stats_surfaced_and_nondegenerate(self, result):
+        """Aggregated SolverStats appear in the notes and show real work.
+
+        A solver that silently did nothing (zero Newton iterations, zero
+        accepted steps) must not be able to pass the agreement rows.
+        """
+        summary = result.notes["solver"]
+        fields = dict(
+            part.split("=") for part in summary.replace(",", "").split()
+        )
+        assert int(fields["newton"]) > 1000
+        assert int(fields["steps"]) > 1000
+        assert int(fields["factorizations"]) > 0
