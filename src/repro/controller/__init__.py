@@ -22,6 +22,7 @@ from .refresh import (
     RefreshCommand,
     RefreshKind,
     RefreshPolicy,
+    TimelineSpec,
     VRLAccessPolicy,
     VRLPolicy,
     build_policy,
@@ -38,6 +39,7 @@ __all__ = [
     "RefreshCommand",
     "RefreshKind",
     "RefreshPolicy",
+    "TimelineSpec",
     "VRLAccessPolicy",
     "VRLPolicy",
     "build_policy",

@@ -30,9 +30,10 @@ Policies are deliberately free of timing bookkeeping — they answer
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
 from functools import lru_cache
+from typing import Callable
 
 import numpy as np
 
@@ -89,6 +90,45 @@ class RefreshCommand:
     row: int
     kind: RefreshKind
     latency_cycles: int
+
+
+@dataclass(frozen=True)
+class TimelineSpec:
+    """Closed-form description of a policy's refresh automaton.
+
+    The fused timeline (:class:`~repro.sim.timeline.FusedTimeline`)
+    evaluates *all* deadline crossings of a simulation at once instead
+    of driving :meth:`RefreshPolicy.decide` round by round.  That is
+    only possible because every built-in policy's per-row state machine
+    is the same modular counter: starting ``phase`` crossings into a
+    cadence of ``cycle_len`` (Algorithm 1's ``rcount``/``mprsf`` with
+    ``cycle_len = mprsf + 1``), the row's ``k``-th crossing is a full
+    refresh exactly when ``(k + phase + 1) % cycle_len == 0``, and an
+    access-driven reset (``resets_on_access``) restarts the cadence at
+    phase 0.  A spec is a *snapshot*: the timeline reads it once per
+    evaluation and stores the end-of-timeline phase back through
+    ``commit`` so counter state stays identical to the round-by-round
+    walk.
+
+    Attributes:
+        cycle_len: per-row full-refresh cadence, ``int64 (n_rows,)``;
+            ``1`` means every crossing is full.
+        phase: per-row crossings already taken since the last full
+            refresh (``rcount``), each in ``[0, cycle_len)``.
+        resets_on_access: whether a demand access restarts the row's
+            cadence (VRL-Access semantics).
+        kind_latencies: per-kind latencies in cycles, indexed by
+            ``KIND_FULL`` / ``KIND_PARTIAL``.
+        commit: callback receiving the end-of-timeline per-row phase;
+            must leave the policy's counters exactly as the equivalent
+            sequence of :meth:`RefreshPolicy.decide` calls would.
+    """
+
+    cycle_len: np.ndarray
+    phase: np.ndarray
+    resets_on_access: bool
+    kind_latencies: np.ndarray
+    commit: Callable[[np.ndarray], None]
 
 
 class RefreshPolicy:
@@ -187,6 +227,54 @@ class RefreshPolicy:
 
     def _on_access_batch(self, rows: np.ndarray) -> None:
         """Vectorized access hook: base policies ignore accesses."""
+
+    # ------------------------------------------------------------------ #
+    # Fused timeline                                                      #
+    # ------------------------------------------------------------------ #
+
+    def timeline_spec(self) -> TimelineSpec:
+        """Closed-form automaton snapshot for the fused timeline.
+
+        Base policies issue only full refreshes: a degenerate cadence of
+        length 1 with no access coupling.  Subclasses that change the
+        decision kernel must override this *together with* their batch
+        hooks, or the fused timeline will refuse them (see
+        :meth:`supports_fused_timeline`) and the simulators fall back to
+        the round-by-round kernel walk.
+        """
+        n = self.n_rows
+        return TimelineSpec(
+            cycle_len=np.ones(n, dtype=np.int64),
+            phase=np.zeros(n, dtype=np.int64),
+            resets_on_access=False,
+            kind_latencies=self.kind_latencies,
+            commit=lambda final_phase: None,
+        )
+
+    def supports_fused_timeline(self) -> bool:
+        """Is :meth:`timeline_spec` a faithful model of this policy?
+
+        The spec is trustworthy only when no subclass customized the
+        decision surface *below* the class that defined the spec: a
+        subclass overriding ``refresh_row`` / ``on_access`` (the scalar
+        style, e.g. ``examples/custom_policy.py``) or ``_decide_batch``
+        / ``_on_access_batch`` without providing a matching
+        ``timeline_spec`` gets ``False`` here, and every fused-timeline
+        consumer falls back to looping the batch kernel — trading speed
+        for fidelity, never silently dropping the customization.
+        """
+        cls = type(self)
+        return not any(
+            _scalar_customized(cls, customized, "timeline_spec")
+            for customized in (
+                "refresh_row",
+                "on_access",
+                "decide",
+                "on_access_rows",
+                "_decide_batch",
+                "_on_access_batch",
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Scalar wrappers                                                     #
@@ -350,6 +438,24 @@ class VRLPolicy(RAIDRPolicy):
         kinds = np.where(full, KIND_FULL, KIND_PARTIAL).astype(np.uint8)
         return kinds, self._kind_latencies[kinds]
 
+    def timeline_spec(self) -> TimelineSpec:
+        """Algorithm 1 as a modular cadence: full every ``mprsf + 1``-th.
+
+        From ``rcount == r``, the next full refresh lands ``mprsf - r``
+        crossings away and then every ``mprsf + 1`` crossings — so
+        ``cycle_len = mprsf + 1`` and ``phase = rcount``.  ``rcount``
+        never exceeds ``mprsf`` (it resets on the full), which keeps the
+        closed form exact.  Plain VRL ignores accesses;
+        :class:`VRLAccessPolicy` flips ``resets_on_access``.
+        """
+        return TimelineSpec(
+            cycle_len=self.mprsf.values + 1,
+            phase=self.rcount.values.copy(),
+            resets_on_access=False,
+            kind_latencies=self.kind_latencies,
+            commit=self.rcount.load,
+        )
+
     def reset(self) -> None:
         self.rcount.reset_all()
 
@@ -366,6 +472,10 @@ class VRLAccessPolicy(VRLPolicy):
 
     def _on_access_batch(self, rows: np.ndarray) -> None:
         self.rcount.reset_rows(rows)
+
+    def timeline_spec(self) -> TimelineSpec:
+        """VRL cadence with access-driven restarts (``rcount`` → 0)."""
+        return replace(super().timeline_spec(), resets_on_access=True)
 
 
 def build_policy(

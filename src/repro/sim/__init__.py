@@ -18,6 +18,10 @@ bank" under each policy.  This package is that simulator:
   refresh overhead driving the policies' batch kernel, used for the
   full Fig. 4 sweep (validated against the cycle-level engine in the
   integration and differential tests);
+* :mod:`~repro.sim.timeline` — the fused ndarray timeline behind the
+  fastpath's default backend: all deadline crossings of a horizon
+  priced in one batched kernel call, zero Python-level loops, with an
+  auto-detected optional numba backend;
 * :mod:`~repro.sim.rank` — multi-bank rank simulation comparing JEDEC
   all-bank refresh against the per-bank row-targeted mode VRL needs;
 * :mod:`~repro.sim.stats` — result containers;
@@ -38,8 +42,16 @@ from .schedule import (
     period_cycles,
     refresh_wins_tie,
     row_deadlines,
+    window_deadline_counts,
 )
 from .stats import RefreshStats, RequestStats
+from .timeline import (
+    NUMBA_AVAILABLE,
+    FusedTimeline,
+    TimelineReport,
+    service_starts,
+    union_length,
+)
 from .timing import DRAMTiming
 from .trace_stats import (
     TraceStatistics,
@@ -65,8 +77,14 @@ __all__ = [
     "period_cycles",
     "refresh_wins_tie",
     "row_deadlines",
+    "window_deadline_counts",
     "RefreshStats",
     "RequestStats",
+    "NUMBA_AVAILABLE",
+    "FusedTimeline",
+    "TimelineReport",
+    "service_starts",
+    "union_length",
     "DRAMTiming",
     "TraceStatistics",
     "analyze_trace",

@@ -1,0 +1,185 @@
+"""Batch kernels of the fused timeline: numpy scatter ops + numba loops.
+
+Two interchangeable implementations of the same two kernels, both
+operating on the closed-form automaton of
+:class:`~repro.controller.refresh.TimelineSpec`:
+
+* :func:`segmented_fulls` — per-row full-refresh counts (and
+  end-of-timeline phases) over a whole horizon, with access-driven
+  cadence restarts handled as segments and accumulated with
+  ``np.add.at`` scatter ops;
+* :func:`crossing_kinds` — per-crossing kind codes for flattened
+  ``(row, ordinal)`` crossing batches (the rank simulator needs the
+  kind of every crossing, not just totals, to place busy intervals).
+
+The numba backend is auto-detected: when ``numba`` is importable the
+loop variants are ``@njit``-compiled, otherwise the *same* functions
+run as pure Python (so their logic is always testable) and the public
+entry points fall back to the vectorized numpy forms.  Backend choice
+never changes results — ``tests/test_timeline_fused.py`` pins the loop
+and numpy variants bit-identical on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default in slim images
+    njit = None
+    NUMBA_AVAILABLE = False
+
+
+def _segmented_fulls_loop(counts, phase, cycle_len, reset_rows, reset_ordinals,
+                          fulls, final_phase):
+    """Loop form of the segment arithmetic (numba-compilable).
+
+    ``fulls`` / ``final_phase`` arrive prefilled with the reset-free
+    closed form; rows that appear in ``reset_rows`` (sorted by row,
+    then ordinal) are recomputed segment by segment.  A reset at
+    ordinal ``k`` restarts the cadence *before* the ``k``-th crossing's
+    decision, exactly like the round walk's access-then-decide order.
+    """
+    i = 0
+    n = reset_rows.shape[0]
+    while i < n:
+        row = reset_rows[i]
+        m1 = cycle_len[row]
+        start = phase[row]
+        prev = 0
+        full_count = 0
+        while i < n and reset_rows[i] == row:
+            ordinal = reset_ordinals[i]
+            full_count += (ordinal - prev + start) // m1
+            start = 0
+            prev = ordinal
+            i += 1
+        tail = counts[row] - prev
+        full_count += tail // m1
+        fulls[row] = full_count
+        final_phase[row] = tail % m1
+    return fulls, final_phase
+
+
+def _crossing_kinds_loop(rows, ordinals, phase, cycle_len, kinds):
+    """Loop form of the per-crossing kind evaluation (numba-compilable)."""
+    for i in range(rows.shape[0]):
+        row = rows[i]
+        if (ordinals[i] + phase[row] + 1) % cycle_len[row] == 0:
+            kinds[i] = 0
+        else:
+            kinds[i] = 1
+    return kinds
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    _segmented_fulls_jit = njit(cache=True)(_segmented_fulls_loop)
+    _crossing_kinds_jit = njit(cache=True)(_crossing_kinds_loop)
+else:
+    _segmented_fulls_jit = _segmented_fulls_loop
+    _crossing_kinds_jit = _crossing_kinds_loop
+
+
+def _closed_form(counts, phase, cycle_len):
+    """Reset-free closed form: fulls and final phase per row.
+
+    Starting ``phase`` crossings into a cadence of ``cycle_len``, the
+    next full lands after ``cycle_len - phase`` crossings and then
+    every ``cycle_len`` — so ``counts`` crossings contain
+    ``(counts + phase) // cycle_len`` fulls and leave the row
+    ``(counts + phase) % cycle_len`` crossings into the cadence.
+    """
+    return (counts + phase) // cycle_len, (counts + phase) % cycle_len
+
+
+def segmented_fulls(
+    counts: np.ndarray,
+    phase: np.ndarray,
+    cycle_len: np.ndarray,
+    reset_rows: np.ndarray,
+    reset_ordinals: np.ndarray,
+    use_numba: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row full-refresh counts over a whole timeline window.
+
+    Args:
+        counts: crossings of each row inside the window, ``(n_rows,)``.
+        phase: cadence phase of each row at window entry.
+        cycle_len: per-row cadence (``mprsf + 1``; 1 = always full).
+        reset_rows: rows with access-driven cadence restarts, sorted by
+            ``(row, ordinal)`` and unique; empty for reset-free runs.
+        reset_ordinals: matching window-relative crossing ordinals in
+            ``[0, counts[row])``.
+        use_numba: run the jitted loop kernel (falls back to the pure
+            numpy scatter form when numba is unavailable).
+
+    Returns:
+        ``(fulls, final_phase)`` — ``int64 (n_rows,)`` arrays; partials
+        are ``counts - fulls``.
+    """
+    fulls, final_phase = _closed_form(counts, phase, cycle_len)
+    if len(reset_rows) == 0:
+        return fulls, final_phase
+    if use_numba and NUMBA_AVAILABLE:  # pragma: no cover - numba-only images
+        return _segmented_fulls_jit(
+            counts, phase, cycle_len, reset_rows, reset_ordinals, fulls, final_phase
+        )
+
+    # Vectorized segment arithmetic.  Entry i closes the segment that
+    # ends at its reset: length ordinal_i - prev_boundary, starting at
+    # the row's entry phase for the first reset of the row and at 0
+    # afterwards.  The tail segment (last reset -> window end) carries
+    # the row's final phase.
+    first_of_row = np.empty(len(reset_rows), dtype=bool)
+    first_of_row[0] = True
+    np.not_equal(reset_rows[1:], reset_rows[:-1], out=first_of_row[1:])
+    last_of_row = np.empty(len(reset_rows), dtype=bool)
+    last_of_row[-1] = True
+    last_of_row[:-1] = first_of_row[1:]
+
+    prev_boundary = np.where(
+        first_of_row, 0, np.concatenate(([0], reset_ordinals[:-1]))
+    )
+    segment_phase = np.where(first_of_row, phase[reset_rows], 0)
+    m1 = cycle_len[reset_rows]
+    contributions = (reset_ordinals - prev_boundary + segment_phase) // m1
+
+    rows_with_resets = reset_rows[last_of_row]
+    fulls[rows_with_resets] = 0
+    np.add.at(fulls, reset_rows, contributions)
+    tail = counts[rows_with_resets] - reset_ordinals[last_of_row]
+    tail_m1 = m1[last_of_row]
+    fulls[rows_with_resets] += tail // tail_m1
+    final_phase[rows_with_resets] = tail % tail_m1
+    return fulls, final_phase
+
+
+def crossing_kinds(
+    rows: np.ndarray,
+    ordinals: np.ndarray,
+    phase: np.ndarray,
+    cycle_len: np.ndarray,
+    use_numba: bool = False,
+) -> np.ndarray:
+    """Kind code of every crossing in a flattened reset-free batch.
+
+    Args:
+        rows: crossing row indices (any order), ``(n_crossings,)``.
+        ordinals: per-row crossing ordinals matching ``rows``.
+        phase: per-row cadence phase at batch entry.
+        cycle_len: per-row cadence.
+        use_numba: run the jitted loop kernel when numba is available.
+
+    Returns:
+        ``uint8`` kind codes (``KIND_FULL`` = 0 / ``KIND_PARTIAL`` = 1):
+        crossing ``k`` of a row is full iff
+        ``(k + phase) % cycle_len == cycle_len - 1``.
+    """
+    kinds = np.empty(len(rows), dtype=np.uint8)
+    if use_numba and NUMBA_AVAILABLE:  # pragma: no cover - numba-only images
+        return _crossing_kinds_jit(rows, ordinals, phase, cycle_len, kinds)
+    np.not_equal((ordinals + phase[rows] + 1) % cycle_len[rows], 0, out=kinds.view(bool))
+    return kinds

@@ -90,6 +90,27 @@ class BankSimulator:
         heapq.heapify(heap)
         return heap, periods
 
+    def refresh_stats(
+        self,
+        duration_cycles: int,
+        trace: Optional[MemoryTrace] = None,
+        backend: str = "auto",
+    ) -> RefreshStats:
+        """Refresh accounting only, via the fused timeline.
+
+        Bit-identical to ``run(...).refresh`` (invariant 11) at a small
+        fraction of the cost: callers that need only the Fig. 4 metric —
+        not queueing or row-buffer behaviour — get the fused path
+        without leaving the engine's API.  ``backend`` follows
+        :class:`~repro.sim.fastpath.RefreshOverheadEvaluator`;
+        ``"auto"`` falls back to the round walk for policies the closed
+        form cannot represent.
+        """
+        from .fastpath import RefreshOverheadEvaluator
+
+        evaluator = RefreshOverheadEvaluator(self.policy, self.timing, backend=backend)
+        return evaluator.evaluate(duration_cycles, trace)
+
     def run(
         self,
         trace: Optional[MemoryTrace] = None,

@@ -7,23 +7,33 @@ rows were accessed in which refresh interval*, never on how many times
 or exactly when within the interval (an extra ``on_access`` reset of an
 already-reset counter is a no-op).
 
-This evaluator therefore drives the policy's **batch kernel** over
-whole banks at once.  Deadlines come from :mod:`~repro.sim.schedule`
-(the same staggered placement and refresh-wins-ties arbitration the
-engine uses); the evaluation walks scheduling *rounds*: round ``k``
-gathers every row whose ``k``-th deadline falls before the horizon,
-applies at most one batched ``on_access_rows`` for the rows that were
-accessed in that interval (computed with one ``searchsorted`` per
-accessed row), and takes the whole round's refresh decisions with one
-``decide`` call.  Per row, the (access?, decide) sequence is identical
+Two equivalent evaluation strategies live behind
+:class:`RefreshOverheadEvaluator`:
+
+* the **fused timeline** (the default for every built-in policy) —
+  :class:`~repro.sim.timeline.FusedTimeline` prices all deadline
+  crossings of the horizon in one batched kernel call, with zero
+  Python-level loops;
+* the **round walk** (the PR 3 fastpath, kept as a reference oracle and
+  as the fallback for customized policies) — walk scheduling *rounds*:
+  round ``k`` gathers every row whose ``k``-th deadline falls before
+  the horizon, applies at most one batched ``on_access_rows`` for the
+  rows that were accessed in that interval (computed with one
+  ``searchsorted`` per accessed row), and takes the whole round's
+  refresh decisions with one ``decide`` call.
+
+Per row, the (access?, decide) sequence of both strategies is identical
 to the scalar walk — policy state is strictly per-row, so the refresh
-statistics are bit-identical to the engine's; the integration and
-differential tests assert this against
+statistics are bit-identical to the engine's; the integration tests and
+the three-way differential harness
+(``tests/test_differential_engine_fastpath.py``) assert this against
 :class:`~repro.sim.engine.BankSimulator`.
 
 Policies that customize only the scalar ``refresh_row`` / ``on_access``
-methods still work here: the kernel's batch entry points transparently
-fall back to looping the scalar methods (see
+methods still work here: ``backend="auto"`` detects them (see
+:meth:`~repro.controller.refresh.RefreshPolicy.supports_fused_timeline`)
+and drives the round walk, whose kernel entry points transparently fall
+back to looping the scalar methods (see
 :mod:`repro.controller.refresh`).
 """
 
@@ -36,8 +46,12 @@ import numpy as np
 from ..controller.refresh import RefreshPolicy
 from .schedule import deadline_counts, first_deadlines, period_cycles, row_deadlines
 from .stats import RefreshStats
+from .timeline import NUMBA_AVAILABLE, FusedTimeline
 from .timing import DRAMTiming
 from .trace import MemoryTrace
+
+#: Evaluation strategies of :class:`RefreshOverheadEvaluator`.
+EVALUATOR_BACKENDS = ("auto", "fused", "numba", "loop")
 
 
 class RefreshOverheadEvaluator:
@@ -47,11 +61,43 @@ class RefreshOverheadEvaluator:
         policy: refresh policy to drive.
         timing: command timings (sets the tREFI-staggered deadlines and
             the cycle clock).
+        backend: ``"auto"`` routes supported policies through the fused
+            timeline and everything else through the round walk;
+            ``"fused"`` / ``"numba"`` force the fused timeline (numpy /
+            jitted kernels) and raise for unsupported policies;
+            ``"loop"`` forces the PR 3 round walk (the differential
+            oracle).
     """
 
-    def __init__(self, policy: RefreshPolicy, timing: DRAMTiming):
+    def __init__(
+        self, policy: RefreshPolicy, timing: DRAMTiming, backend: str = "auto"
+    ):
+        if backend not in EVALUATOR_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {EVALUATOR_BACKENDS}, got {backend!r}"
+            )
+        if backend == "numba" and not NUMBA_AVAILABLE:
+            raise ValueError("backend='numba' requested but numba is not installed")
         self.policy = policy
         self.timing = timing
+        if backend == "auto" and not policy.supports_fused_timeline():
+            backend = "loop"
+        self.backend = backend
+        self._timeline: Optional[FusedTimeline] = None
+
+    @property
+    def timeline(self) -> Optional[FusedTimeline]:
+        """The compiled fused timeline (``None`` on the loop backend).
+
+        Built lazily on first use and reused across evaluations, so the
+        schedule compilation is paid once per evaluator.
+        """
+        if self.backend == "loop":
+            return None
+        if self._timeline is None:
+            kernel = {"auto": "auto", "fused": "numpy", "numba": "numba"}[self.backend]
+            self._timeline = FusedTimeline(self.policy, self.timing, backend=kernel)
+        return self._timeline
 
     def _accesses_by_row(self, trace: Optional[MemoryTrace]) -> dict[int, np.ndarray]:
         """Sorted access-cycle arrays keyed by row (empty without a trace)."""
@@ -112,11 +158,31 @@ class RefreshOverheadEvaluator:
     ) -> RefreshStats:
         """Refresh statistics over ``duration_cycles`` of simulated time.
 
+        Dispatches to the configured backend; every backend returns
+        bit-identical statistics (the three-way differential harness
+        pins this).
+
         Args:
             duration_cycles: simulation horizon; refreshes due at or
                 after it are not issued (same convention as the engine).
             trace: demand accesses (only their (row, cycle) structure is
                 used).
+        """
+        timeline = self.timeline
+        if timeline is not None:
+            return timeline.evaluate(duration_cycles, trace)
+        return self._evaluate_loop(duration_cycles, trace)
+
+    def _evaluate_loop(
+        self,
+        duration_cycles: int,
+        trace: Optional[MemoryTrace] = None,
+    ) -> RefreshStats:
+        """The PR 3 round walk: one batched ``decide`` per scheduling round.
+
+        Kept verbatim as the reference oracle the fused timeline is
+        differentially tested against, and as the fallback for policies
+        whose customization the closed-form timeline cannot represent.
         """
         if duration_cycles <= 0:
             raise ValueError(f"duration must be positive, got {duration_cycles}")

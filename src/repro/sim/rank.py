@@ -30,20 +30,26 @@ import numpy as np
 
 from ..controller.refresh import RefreshPolicy
 from ..technology import BankGeometry, DEFAULT_GEOMETRY
+from ._timeline_kernels import crossing_kinds
 from .bank import Bank
 from .schedule import (
     ALL_BANK_ROWS_PER_REF,
     all_bank_ref_interval,
     all_bank_trfc,
+    deadline_counts,
     first_deadlines,
     period_cycles,
     refresh_wins_tie,
 )
 from .stats import RefreshStats, RequestStats
+from .timeline import service_starts, union_length
 from .timing import DRAMTiming
 from .trace import MemoryTrace
 
 __all__ = ["ALL_BANK_ROWS_PER_REF", "RankResult", "RankSimulator"]
+
+#: Evaluation strategies of :meth:`RankSimulator.run`.
+RANK_BACKENDS = ("auto", "fused", "loop")
 
 
 @dataclass
@@ -167,11 +173,26 @@ class RankSimulator:
     # Simulation                                                          #
     # ------------------------------------------------------------------ #
 
+    def _fused_eligible(self, trace: Optional[MemoryTrace]) -> bool:
+        """Can this run take the fused timeline instead of the event loop?
+
+        Refresh-only runs have no refresh/request interleaving to
+        arbitrate, so the whole rank timeline is a closed form: all-bank
+        pacing always qualifies; per-bank mode additionally needs every
+        policy's automaton to be fused-representable.
+        """
+        if trace is not None and len(trace):
+            return False
+        if self.all_bank_refresh:
+            return True
+        return all(policy.supports_fused_timeline() for policy in self.policies)
+
     def run(
         self,
         trace: Optional[MemoryTrace] = None,
         duration_cycles: Optional[int] = None,
         bank_of_row: Optional[np.ndarray] = None,
+        backend: str = "auto",
     ) -> RankResult:
         """Simulate the rank.
 
@@ -182,13 +203,28 @@ class RankSimulator:
             duration_cycles: horizon (required if no trace).
             bank_of_row: optional per-request bank indices, shape
                 ``(len(trace),)``.
+            backend: ``"auto"`` uses the fused rank timeline for
+                refresh-only runs (bit-identical to the event loop,
+                orders of magnitude faster) and the event loop
+                otherwise; ``"fused"`` forces the fused path (raises if
+                the run is not refresh-only fused-representable);
+                ``"loop"`` forces the event loop (the differential
+                oracle).
         """
+        if backend not in RANK_BACKENDS:
+            raise ValueError(f"backend must be one of {RANK_BACKENDS}, got {backend!r}")
         if duration_cycles is None:
             if trace is None or len(trace) == 0:
                 raise ValueError("need a trace or an explicit duration")
             duration_cycles = trace.duration_cycles + 1
         if duration_cycles <= 0:
             raise ValueError(f"duration must be positive, got {duration_cycles}")
+        if backend == "fused" and not self._fused_eligible(trace):
+            raise ValueError(
+                "backend='fused' needs a refresh-only run (no trace) with "
+                "fused-representable policies; use backend='auto' for automatic "
+                "fallback to the event loop"
+            )
 
         for bank in self.banks:
             bank.reset()
@@ -217,18 +253,26 @@ class RankSimulator:
         else:
             banks_for_requests = None
 
-        if self.all_bank_refresh:
-            self._run_all_bank(
-                trace, banks_for_requests, duration_cycles, refresh_stats,
-                request_stats, blocked_intervals,
-            )
+        fused = backend == "fused" or (
+            backend == "auto" and self._fused_eligible(trace)
+        )
+        if fused:
+            if self.all_bank_refresh:
+                blocked = self._run_all_bank_fused(duration_cycles, refresh_stats)
+            else:
+                blocked = self._run_per_bank_fused(duration_cycles, refresh_stats)
         else:
-            self._run_per_bank(
-                trace, banks_for_requests, duration_cycles, refresh_stats,
-                request_stats, blocked_intervals,
-            )
-
-        blocked = _union_length(blocked_intervals, duration_cycles)
+            if self.all_bank_refresh:
+                self._run_all_bank(
+                    trace, banks_for_requests, duration_cycles, refresh_stats,
+                    request_stats, blocked_intervals,
+                )
+            else:
+                self._run_per_bank(
+                    trace, banks_for_requests, duration_cycles, refresh_stats,
+                    request_stats, blocked_intervals,
+                )
+            blocked = _union_length(blocked_intervals, duration_cycles)
         return RankResult(
             per_bank_refresh=refresh_stats,
             requests=request_stats,
@@ -275,6 +319,74 @@ class RankSimulator:
                 self._serve_request(bank_index, next_req, row % self.geometry.rows,
                                     is_write, request_stats)
                 request_index += 1
+
+    def _run_per_bank_fused(self, duration_cycles, refresh_stats):
+        """Fused refresh-only per-bank run; returns rank blocked cycles.
+
+        Each bank's refreshes pop from the shared heap in ``(due, row)``
+        order and chain FCFS on that bank alone, so per bank the whole
+        timeline is: flatten every row's crossings, sort by
+        ``(due, row)`` (the heap's tie-break), price the kinds with the
+        batched automaton kernel, and solve the busy chain with
+        :func:`~repro.sim.timeline.service_starts`.  Bit-identical to
+        :meth:`_run_per_bank` (invariant 11).
+        """
+        all_starts: list[np.ndarray] = []
+        all_ends: list[np.ndarray] = []
+        n_rows = self.geometry.rows
+        for bank_index, policy in enumerate(self.policies):
+            periods = period_cycles(policy, self.timing)
+            first = first_deadlines(
+                periods, bank_index=bank_index, n_banks=self.n_banks
+            )
+            counts = deadline_counts(first, periods, duration_cycles)
+            spec = policy.timeline_spec()
+            total = int(counts.sum())
+            if total:
+                row_ids = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+                row_offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                ordinals = np.arange(total, dtype=np.int64) - np.repeat(
+                    row_offsets, counts
+                )
+                dues = first[row_ids] + ordinals * periods[row_ids]
+                order = np.lexsort((row_ids, dues))
+                row_ids, ordinals, dues = row_ids[order], ordinals[order], dues[order]
+                kinds = crossing_kinds(row_ids, ordinals, spec.phase, spec.cycle_len)
+                latencies = spec.kind_latencies[kinds].astype(np.int64)
+                starts = service_starts(dues, latencies)
+                all_starts.append(starts)
+                all_ends.append(starts + latencies)
+                stats = refresh_stats[bank_index]
+                stats.full_refreshes = int(np.count_nonzero(kinds == 0))
+                stats.partial_refreshes = total - stats.full_refreshes
+                stats.refresh_cycles = int(latencies.sum())
+            spec.commit((counts + spec.phase) % spec.cycle_len)
+        if not all_starts:
+            return 0
+        return union_length(
+            np.concatenate(all_starts), np.concatenate(all_ends), duration_cycles
+        )
+
+    def _run_all_bank_fused(self, duration_cycles, refresh_stats):
+        """Fused refresh-only all-bank run; returns rank blocked cycles.
+
+        Every REF occupies all banks for the same tRFC, so the banks'
+        busy chains are identical; one
+        :func:`~repro.sim.timeline.service_starts` over the tREFI-paced
+        due cycles reproduces :meth:`_run_all_bank` bit for bit.
+        """
+        trfc = all_bank_trfc(self.policies[0].tau_full)
+        interval = all_bank_ref_interval(self.timing, self.geometry.rows)
+        dues = np.arange(0, duration_cycles, interval, dtype=np.int64)
+        if len(dues) == 0:
+            return 0
+        starts = service_starts(dues, np.full(len(dues), trfc, dtype=np.int64))
+        for stats in refresh_stats:
+            stats.refresh_cycles = trfc * len(dues)
+            # One REF covers several rows; count row-refreshes so the
+            # totals are comparable with per-bank modes.
+            stats.full_refreshes = ALL_BANK_ROWS_PER_REF * len(dues)
+        return union_length(starts, starts + trfc, duration_cycles)
 
     def _run_all_bank(
         self, trace, banks_for_requests, duration_cycles, refresh_stats,

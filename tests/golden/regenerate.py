@@ -18,6 +18,7 @@ from test_golden_regression import (  # noqa: E402
     GOLDEN_DIR,
     TABLE1_COLUMNS,
     golden_rows,
+    timeline_golden_rows,
 )
 
 from repro.experiments import run_fig4, run_table1  # noqa: E402
@@ -33,6 +34,11 @@ def main() -> None:
         "\n".join(golden_rows(table1, TABLE1_COLUMNS)) + "\n"
     )
     print(f"wrote {GOLDEN_DIR / 'table1_model.csv'}")
+
+    (GOLDEN_DIR / "timeline_fused.csv").write_text(
+        "\n".join(timeline_golden_rows()) + "\n"
+    )
+    print(f"wrote {GOLDEN_DIR / 'timeline_fused.csv'}")
 
 
 if __name__ == "__main__":

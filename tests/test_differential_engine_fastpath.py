@@ -1,10 +1,10 @@
-"""Differential harness: fastpath refresh stats ≡ cycle-level engine.
+"""Three-way differential harness: engine ≡ round walk ≡ fused timeline.
 
 `tests/test_engine_fastpath.py` pins the equivalence on a handful of
 hand-picked cases; this harness drives it with seeded *randomized*
-configurations — random geometries, policies, counter widths, and
-adversarial traces — and with the known-nasty event orderings called
-out in the fastpath's contract:
+configurations — random geometries, policies, counter widths,
+temperatures, and adversarial traces — and with the known-nasty event
+orderings called out in the fastpath's contract:
 
 * **tie cycles** — a demand access landing exactly on a refresh
   deadline (refresh wins the tie, so the access resets the counter for
@@ -15,19 +15,26 @@ out in the fastpath's contract:
   simulation horizon must not change refresh accounting.
 
 Every case asserts the three refresh statistics are bit-identical
-between :class:`RefreshOverheadEvaluator` and :class:`BankSimulator`.
+across *all* evaluation strategies (invariant 11): the cycle-level
+:class:`BankSimulator`, the PR 3 round walk
+(``backend="loop"``), the fused timeline (``backend="fused"``), and —
+when numba is installed — the jitted fused kernels
+(``backend="numba"``).  Failure messages carry the case's seeds so any
+discrepancy reproduces from the log alone.
 """
 
 import numpy as np
 import pytest
 
 from repro.controller import build_policy
-from repro.retention import RefreshBinning, RetentionProfiler
+from repro.retention import RefreshBinning, RetentionProfiler, TemperatureModel
 from repro.sim import (
+    NUMBA_AVAILABLE,
     BankSimulator,
     DRAMTiming,
     MemoryTrace,
     RefreshOverheadEvaluator,
+    merge_traces,
 )
 from repro.technology import BankGeometry, DEFAULT_TECH
 from repro.units import MS
@@ -36,9 +43,14 @@ TIMING = DRAMTiming.from_technology(DEFAULT_TECH)
 
 POLICY_NAMES = ("fixed", "raidr", "vrl", "vrl-access")
 
+#: Every evaluator strategy differentially pinned against the engine.
+BACKENDS = ("loop", "fused") + (("numba",) if NUMBA_AVAILABLE else ())
 
-def _policy(name, geometry, profile_seed, nbits=2):
+
+def _policy(name, geometry, profile_seed, nbits=2, temperature=None):
     profile = RetentionProfiler(seed=profile_seed).profile(geometry)
+    if temperature is not None:
+        profile = TemperatureModel().scale_profile(profile, temperature)
     binning = RefreshBinning().assign(profile)
     return build_policy(name, DEFAULT_TECH, profile, binning, nbits=nbits)
 
@@ -58,14 +70,31 @@ def _trace_from_events(cycles, rows, seed):
     return MemoryTrace(cycles[order], rows[order], is_write, name="diff")
 
 
-def _assert_equivalent(policy, trace, duration_cycles):
+def _assert_equivalent(policy, trace, duration_cycles, context=""):
+    """Pin every evaluator backend bit-identical to the engine.
+
+    ``context`` (seeds, temperatures, geometry) is embedded in the
+    failure message so a red case reproduces from the log alone.
+    """
     engine = BankSimulator(policy, TIMING).run(
         trace=trace, duration_cycles=duration_cycles
     )
-    fast = RefreshOverheadEvaluator(policy, TIMING).evaluate(duration_cycles, trace)
-    assert fast.full_refreshes == engine.refresh.full_refreshes
-    assert fast.partial_refreshes == engine.refresh.partial_refreshes
-    assert fast.refresh_cycles == engine.refresh.refresh_cycles
+    want = (
+        engine.refresh.full_refreshes,
+        engine.refresh.partial_refreshes,
+        engine.refresh.refresh_cycles,
+    )
+    for backend in BACKENDS:
+        fast = RefreshOverheadEvaluator(policy, TIMING, backend=backend).evaluate(
+            duration_cycles, trace
+        )
+        got = (fast.full_refreshes, fast.partial_refreshes, fast.refresh_cycles)
+        assert got == want, (
+            f"backend={backend!r} diverged from engine: "
+            f"(full, partial, cycles) {got} != {want} "
+            f"[policy={policy.name!r} rows={policy.n_rows} "
+            f"duration={duration_cycles} {context}]"
+        )
 
 
 class TestRandomizedDifferential:
@@ -84,7 +113,69 @@ class TestRandomizedDifferential:
         cycles = rng.integers(0, duration_cycles, size=n_requests)
         rows = rng.integers(0, geometry.rows, size=n_requests)
         trace = _trace_from_events(cycles, rows, seed=case_seed)
-        _assert_equivalent(policy, trace, duration_cycles)
+        _assert_equivalent(
+            policy, trace, duration_cycles,
+            context=f"case_seed={case_seed} policy={name} nbits={nbits}",
+        )
+
+    @pytest.mark.parametrize("case_seed", range(4))
+    def test_random_refresh_only(self, case_seed):
+        """No trace at all: the pure-deadline timeline must agree too."""
+        rng = np.random.default_rng(2000 + case_seed)
+        geometry = BankGeometry(int(rng.integers(16, 129)), 8)
+        name = POLICY_NAMES[int(rng.integers(len(POLICY_NAMES)))]
+        policy = _policy(name, geometry, profile_seed=int(rng.integers(1, 100)))
+        duration_cycles = TIMING.cycles(float(rng.uniform(0.3, 1.5)))
+        _assert_equivalent(
+            policy, None, duration_cycles, context=f"case_seed={case_seed}"
+        )
+
+    @pytest.mark.parametrize("case_seed", range(4))
+    def test_random_temperature(self, case_seed):
+        """Temperature-scaled retention profiles shift every period bin;
+        the quantized schedules must still agree across all backends."""
+        rng = np.random.default_rng(3000 + case_seed)
+        geometry = BankGeometry(int(rng.integers(16, 97)), 8)
+        temperature = float(rng.uniform(30.0, 70.0))
+        name = POLICY_NAMES[int(rng.integers(len(POLICY_NAMES)))]
+        policy = _policy(
+            name, geometry, profile_seed=int(rng.integers(1, 100)),
+            temperature=temperature,
+        )
+        duration_cycles = TIMING.cycles(float(rng.uniform(0.2, 0.8)))
+        n_requests = int(rng.integers(100, 1500))
+        cycles = rng.integers(0, duration_cycles, size=n_requests)
+        rows = rng.integers(0, geometry.rows, size=n_requests)
+        trace = _trace_from_events(cycles, rows, seed=case_seed)
+        _assert_equivalent(
+            policy, trace, duration_cycles,
+            context=f"case_seed={case_seed} temperature={temperature:.2f}",
+        )
+
+    @pytest.mark.parametrize("case_seed", range(4))
+    def test_merged_trace_interleavings(self, case_seed):
+        """Multi-programmed interleavings (merge_traces' stable order):
+        a hot sequential sweep merged with sparse random traffic."""
+        rng = np.random.default_rng(4000 + case_seed)
+        geometry = BankGeometry(int(rng.integers(24, 65)), 8)
+        policy = _policy("vrl-access", geometry,
+                         profile_seed=int(rng.integers(1, 100)))
+        duration_cycles = TIMING.cycles(float(rng.uniform(0.4, 1.0)))
+        sweep_rows = np.tile(np.arange(geometry.rows), 4)
+        sweep_cycles = np.linspace(
+            0, duration_cycles - 1, num=len(sweep_rows), dtype=np.int64
+        )
+        sweep = _trace_from_events(sweep_cycles, sweep_rows, seed=case_seed)
+        n_random = int(rng.integers(100, 600))
+        random_trace = _trace_from_events(
+            rng.integers(0, duration_cycles, size=n_random),
+            rng.integers(0, geometry.rows, size=n_random),
+            seed=case_seed + 1,
+        )
+        trace = merge_traces([sweep, random_trace])
+        _assert_equivalent(
+            policy, trace, duration_cycles, context=f"case_seed={case_seed}"
+        )
 
     @pytest.mark.parametrize("policy_name", ["vrl", "vrl-access"])
     @pytest.mark.parametrize("nbits", [1, 3])
@@ -96,7 +187,10 @@ class TestRandomizedDifferential:
         cycles = rng.integers(0, duration_cycles, size=2000)
         rows = rng.integers(0, geometry.rows, size=2000)
         trace = _trace_from_events(cycles, rows, seed=nbits)
-        _assert_equivalent(policy, trace, duration_cycles)
+        _assert_equivalent(
+            policy, trace, duration_cycles,
+            context=f"policy={policy_name} nbits={nbits}",
+        )
 
 
 class TestTieCycles:
