@@ -27,6 +27,7 @@ See ``examples/`` for runnable scenarios and ``repro.experiments`` for
 the figure/table reproductions.
 """
 
+from .guard import NumericalError, assert_finite
 from .technology import (
     BankGeometry,
     DEFAULT_GEOMETRY,
@@ -85,6 +86,8 @@ __version__ = "1.0.0"
 from .runner import Cell, ExperimentRunner, ResultCache  # noqa: E402
 
 __all__ = [
+    "NumericalError",
+    "assert_finite",
     "BankGeometry",
     "DEFAULT_GEOMETRY",
     "DEFAULT_TECH",

@@ -39,6 +39,7 @@ from .netlist import (
     VoltageSource,
 )
 from .waveforms import Waveform, constant, piecewise_linear, pulse, step
+from .rescue import ConvergenceReport, RescueAttempt
 from .solver import (
     CircuitSession,
     ConvergenceError,
@@ -76,6 +77,8 @@ __all__ = [
     "step",
     "CircuitSession",
     "ConvergenceError",
+    "ConvergenceReport",
+    "RescueAttempt",
     "SolverStats",
     "TransientResult",
     "TransientSolver",

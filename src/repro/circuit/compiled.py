@@ -32,8 +32,11 @@ sparse threshold, so even the fallback never densifies large systems).
 Both assemblers expose the same two entry points consumed by
 :class:`~repro.circuit.solver.CircuitSession`:
 
-* ``prepare_step(xp_prev, t, dt, stats)`` → an ``iterate(xp)`` callable
-  performing one linearize-assemble-solve round, and
+* ``prepare_step(xp_prev, t, dt, stats, gshunt=0.0, source_scale=1.0)``
+  → an ``iterate(xp)`` callable performing one
+  linearize-assemble-solve round (``gshunt``/``source_scale`` deform
+  the system for the rescue ladder; the defaults assemble the exact
+  undeformed system), and
 * ``system_matrices(x, v_prev, t, dt)`` → the dense ``(G, I)`` pair for
   verification (architecture invariant 10: compiled and reference
   stamping produce identical MNA systems).
@@ -374,7 +377,13 @@ class CompiledCircuit:
                 zero = data[self._diag_pos] == 0.0
                 if zero.any():
                     data[self._diag_pos[zero]] = 1e-12
-                factor = self._sparse_factor(data, stats)
+                try:
+                    factor = self._sparse_factor(data, stats)
+                except SingularSystemError:
+                    # Leave the cached factor empty: the per-iteration
+                    # path retries (with any rescue gmin applied) and
+                    # raises there if the system is truly singular.
+                    factor = None
         else:
             base = np.zeros((size + 1, size + 1))
             np.add.at(base.ravel(), self._lin_flat, vals)
@@ -427,16 +436,24 @@ class CompiledCircuit:
     # per-step / per-iteration assembly                                   #
     # ------------------------------------------------------------------ #
 
-    def _rhs_base(self, xp_prev: np.ndarray, t: float, dt: float) -> np.ndarray:
-        """Source and companion-history RHS for one step (padded vector)."""
+    def _rhs_base(
+        self, xp_prev: np.ndarray, t: float, dt: float, source_scale: float = 1.0
+    ) -> np.ndarray:
+        """Source and companion-history RHS for one step (padded vector).
+
+        ``source_scale`` ramps V/I source contributions for the rescue
+        ladder's source stepping (1.0 — multiplication by which is exact
+        — everywhere outside a rescue).  Companion history terms are
+        integration state, not supplies, and are never scaled.
+        """
         I = np.zeros(self.size + 1)
         if len(self._h_coef):
             hist = (self._h_coef / dt) * (xp_prev[self._h_a] - xp_prev[self._h_b])
             np.add.at(I, self._h_row, hist)
         for row, wave in zip(self._vs_rows, self._vs_waves):
-            I[row] += wave(t)
+            I[row] += source_scale * wave(t)
         for ra, rb, wave in zip(self._is_rows_a, self._is_rows_b, self._is_waves):
-            value = wave(t)
+            value = source_scale * wave(t)
             I[ra] -= value
             I[rb] += value
         return I
@@ -487,19 +504,33 @@ class CompiledCircuit:
         rhs_pos = np.where(swap[:, None], self._rhs_swapped, self._rhs_normal)
         return pos, vals, rhs_pos, ieq
 
-    def prepare_step(self, xp_prev: np.ndarray, t: float, dt: float, stats):
+    def prepare_step(
+        self,
+        xp_prev: np.ndarray,
+        t: float,
+        dt: float,
+        stats,
+        gshunt: float = 0.0,
+        source_scale: float = 1.0,
+    ):
         """One time step's assembly context.
 
         Returns ``iterate(xp) -> x_next`` performing a single Newton
         round: stamp devices at the iterate, regularize floating nodes,
         factorize/solve.  Raises :class:`SingularSystemError` when the
         system cannot be solved.
+
+        ``gshunt``/``source_scale`` deform the system for the rescue
+        ladder (:mod:`repro.circuit.rescue`): a shunt conductance on
+        every node diagonal, and a scale on the V/I source RHS terms.
+        At the defaults the assembled system is bit-identical to the
+        undeformed one.
         """
         size = self.size
         base, factor = self._linear_base(dt, stats)
-        I_base = self._rhs_base(xp_prev, t, dt)
+        I_base = self._rhs_base(xp_prev, t, dt, source_scale)
 
-        if self.n_devices == 0 and factor is not None:
+        if self.n_devices == 0 and factor is not None and gshunt == 0.0:
             x_static: Optional[np.ndarray] = None
 
             def iterate_linear(xp: np.ndarray) -> np.ndarray:
@@ -520,6 +551,8 @@ class CompiledCircuit:
                 np.add.at(I, rhs_pos[:, 0], -ieq)
                 np.add.at(I, rhs_pos[:, 1], ieq)
                 data = data[: self._nnz]
+                if gshunt:
+                    data[self._diag_pos] += gshunt
                 zero = data[self._diag_pos] == 0.0
                 if zero.any():
                     data[self._diag_pos[zero]] = 1e-12
@@ -540,6 +573,8 @@ class CompiledCircuit:
                 np.add.at(I, rhs_pos[:, 0], -ieq)
                 np.add.at(I, rhs_pos[:, 1], ieq)
             flat = G.ravel()
+            if gshunt:
+                flat[self._diag_flat] += gshunt
             diag = flat[self._diag_flat]
             zero = diag == 0.0
             if zero.any():
@@ -621,7 +656,21 @@ class ReferenceAssembler:
         self.sparse = sparse
         self.n_devices = sum(1 for e in circuit.elements if isinstance(e, _MOSFET))
 
-    def _assemble(self, x: np.ndarray, v_prev: np.ndarray, t: float, dt: float):
+    @staticmethod
+    def _is_library_source(element) -> bool:
+        """Whether ``element`` stamps with the unmodified library V/I source
+        arithmetic (and so is safe to scale during source stepping).
+        Subclasses overriding ``stamp`` are opaque and never scaled."""
+        return type(element).stamp in (VoltageSource.stamp, CurrentSource.stamp)
+
+    def _assemble(
+        self,
+        x: np.ndarray,
+        v_prev: np.ndarray,
+        t: float,
+        dt: float,
+        source_scale: float = 1.0,
+    ):
         """Stamp every element; returns ``(G, I)`` (G possibly lil)."""
         size = self.size
         if self.sparse:
@@ -631,17 +680,40 @@ class ReferenceAssembler:
         else:
             G = np.zeros((size, size))
         I = np.zeros(size)
-        for element in self.circuit.elements:
-            element.stamp(G, I, x, v_prev, t, dt)
+        if source_scale == 1.0:
+            for element in self.circuit.elements:
+                element.stamp(G, I, x, v_prev, t, dt)
+        else:
+            # Source stepping: library V/I sources stamp their RHS into a
+            # scratch vector that is scaled back in.  Their G entries are
+            # ±1 incidence terms, unaffected by the supply level.
+            I_sources = np.zeros(size)
+            for element in self.circuit.elements:
+                if self._is_library_source(element):
+                    element.stamp(G, I_sources, x, v_prev, t, dt)
+                else:
+                    element.stamp(G, I, x, v_prev, t, dt)
+            I += source_scale * I_sources
         return G, I
 
-    def prepare_step(self, xp_prev: np.ndarray, t: float, dt: float, stats):
+    def prepare_step(
+        self,
+        xp_prev: np.ndarray,
+        t: float,
+        dt: float,
+        stats,
+        gshunt: float = 0.0,
+        source_scale: float = 1.0,
+    ):
         """Reference counterpart of :meth:`CompiledCircuit.prepare_step`."""
         size, n_nodes = self.size, self.n_nodes
         v_prev = xp_prev[:size].copy()
 
         def iterate(xp: np.ndarray) -> np.ndarray:
-            G, I = self._assemble(xp[:size], v_prev, t, dt)
+            G, I = self._assemble(xp[:size], v_prev, t, dt, source_scale)
+            if gshunt:
+                for k in range(n_nodes):
+                    G[k, k] += gshunt
             # Regularize rows untouched by any stamp (isolated nodes).
             for k in range(n_nodes):
                 if G[k, k] == 0.0:

@@ -12,13 +12,14 @@ from typing import Optional
 
 import numpy as np
 
+from ..guard import assert_finite
 from .netlist import VoltageSource
 from .solver import SolverStats, TransientResult
 
 
 def value_at(result: TransientResult, node: str, t: float) -> float:
     """Voltage of ``node`` at time ``t`` (linear interpolation)."""
-    return result.at(node, t)
+    return assert_finite(result.at(node, t), "circuit.measure.value_at", node)
 
 
 def crossing_time(
@@ -108,7 +109,8 @@ def delivered_energy(result: TransientResult, source: VoltageSource) -> float:
     """
     current = result.current(source.name)
     voltage = np.array([source.waveform(float(t)) for t in result.time])
-    return float(np.trapezoid(voltage * current, result.time))
+    energy = float(np.trapezoid(voltage * current, result.time))
+    return assert_finite(energy, "circuit.measure.delivered_energy", source.name)
 
 
 def combined_stats(*results: TransientResult) -> SolverStats:

@@ -18,8 +18,14 @@ any number of transients against the compiled form:
   Results are resampled onto the uniform ``dt`` grid so
   :class:`TransientResult` consumers are unchanged.
 
+When halving cannot save a step, the solver escalates through the
+gmin/source-stepping rescue ladder (:mod:`repro.circuit.rescue`) before
+giving up; rescued steps and their :class:`ConvergenceReport` records
+land on the run's stats, and a final failure raises
+:class:`ConvergenceError` carrying the same report.
+
 Every run returns :class:`SolverStats` telemetry (Newton iterations,
-factorizations, accepted/rejected steps, subdivisions).
+factorizations, accepted/rejected steps, subdivisions, rescues).
 :class:`TransientSolver` remains as a thin fixed-step wrapper for
 existing call sites.
 
@@ -37,8 +43,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..guard import assert_finite
 from .compiled import ReferenceAssembler, SingularSystemError, build_assembler
 from .netlist import Circuit
+from .rescue import (  # noqa: F401  (ConvergenceError re-exported for back-compat)
+    ConvergenceError,
+    ConvergenceReport,
+    NewtonProbe,
+    run_rescue,
+)
 
 #: Switch to sparse factorization above this many unknowns.
 SPARSE_THRESHOLD = 200
@@ -55,10 +68,6 @@ _SHRINK_MIN = 0.2
 _SAFETY = 0.9
 
 
-class ConvergenceError(RuntimeError):
-    """Raised when Newton iteration fails to converge at a time point."""
-
-
 @dataclass
 class SolverStats:
     """Telemetry from one (or several merged) transient runs.
@@ -72,6 +81,11 @@ class SolverStats:
         rejected_steps: steps solved but discarded by the adaptive
             local-truncation-error test (always 0 for fixed-step runs).
         subdivisions: step halvings forced by Newton non-convergence.
+        rescues: steps salvaged by the gmin/source-stepping rescue
+            ladder after subdivision was exhausted (always 0 for
+            netlists where plain Newton converges).
+        rescue_reports: one :class:`~repro.circuit.rescue.ConvergenceReport`
+            per rescued step, recording the stage and every rung.
     """
 
     newton_iterations: int = 0
@@ -79,6 +93,8 @@ class SolverStats:
     accepted_steps: int = 0
     rejected_steps: int = 0
     subdivisions: int = 0
+    rescues: int = 0
+    rescue_reports: List[ConvergenceReport] = field(default_factory=list)
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Accumulate ``other`` into this record (in place) and return self."""
@@ -87,6 +103,8 @@ class SolverStats:
         self.accepted_steps += other.accepted_steps
         self.rejected_steps += other.rejected_steps
         self.subdivisions += other.subdivisions
+        self.rescues += other.rescues
+        self.rescue_reports.extend(other.rescue_reports)
         return self
 
     @classmethod
@@ -100,11 +118,15 @@ class SolverStats:
 
     def summary(self) -> str:
         """One-line human-readable digest for experiment notes."""
-        return (
+        text = (
             f"newton={self.newton_iterations} factorizations={self.factorizations} "
             f"steps={self.accepted_steps} rejected={self.rejected_steps} "
             f"subdivisions={self.subdivisions}"
         )
+        if self.rescues:
+            stages = ",".join(r.stage for r in self.rescue_reports) or "?"
+            text += f" rescues={self.rescues}({stages})"
+        return text
 
 
 @dataclass
@@ -351,6 +373,8 @@ class CircuitSession:
             for name, idx in current_indices.items():
                 current_traces[name][step_index] = -xp[idx]
 
+        assert_finite(traces, "circuit.solver.simulate")
+        assert_finite(current_traces, "circuit.solver.simulate")
         return TransientResult(
             time=times,
             voltages=traces,
@@ -365,22 +389,49 @@ class CircuitSession:
         A stiff event (sense-amp regeneration firing mid-step) can defeat
         the damped Newton iteration at the requested step; halving the
         step across the event recovers convergence.  Up to
-        :data:`MAX_SUBDIVISIONS` levels of halving are attempted before
-        giving up.
+        :data:`MAX_SUBDIVISIONS` levels of halving are attempted, then
+        the gmin/source-stepping rescue ladder
+        (:mod:`repro.circuit.rescue`) gets the final word.
         """
-        xp_next = self._newton(assembler, xp, t_start + dt, dt, stats)
-        if xp_next is not None:
+        probe = self._newton(assembler, xp, t_start + dt, dt, stats)
+        if probe.solution is not None:
+            stats.accepted_steps += 1
+            return probe.solution
+        if depth >= MAX_SUBDIVISIONS:
+            xp_next = self._rescue(assembler, xp, t_start + dt, dt, stats)
             stats.accepted_steps += 1
             return xp_next
-        if depth >= MAX_SUBDIVISIONS:
-            raise ConvergenceError(
-                f"Newton failed at t={t_start + dt:.3e}s in {self.circuit.name} "
-                f"even after {MAX_SUBDIVISIONS} step subdivisions"
-            )
         stats.subdivisions += 1
         half = dt / 2.0
         xp_mid = self._advance(assembler, xp, t_start, half, depth + 1, stats)
         return self._advance(assembler, xp_mid, t_start + half, half, depth + 1, stats)
+
+    def _rescue(self, assembler, xp, t, dt, stats):
+        """Run the rescue ladder for a step Newton + halving could not take.
+
+        Raises :class:`ConvergenceError` (with the attached
+        :class:`~repro.circuit.rescue.ConvergenceReport`) when both
+        ladders are exhausted.
+        """
+
+        def newton(xp_start, gshunt, source_scale):
+            return self._newton(
+                assembler, xp_start, t, dt, stats,
+                gshunt=gshunt, source_scale=source_scale,
+            )
+
+        solution, report = run_rescue(
+            newton,
+            xp,
+            netlist=self.circuit.name,
+            t=t,
+            dt=dt,
+            node_names=self.circuit.node_names,
+            subdivisions=MAX_SUBDIVISIONS,
+        )
+        stats.rescues += 1
+        stats.rescue_reports.append(report)
+        return solution
 
     # ------------------------------------------------------------------ #
     # adaptive path                                                       #
@@ -449,18 +500,25 @@ class CircuitSession:
                 dt_try = bps[0] - t
                 at_break = True
 
-            xp_new = self._newton(assembler, xp, t + dt_try, dt_try, stats)
+            probe = self._newton(assembler, xp, t + dt_try, dt_try, stats)
+            xp_new = probe.solution
+            rescued = False
             if xp_new is None:
                 stats.subdivisions += 1
                 dt = dt_try / 2.0
-                if dt < dt_floor:
-                    raise ConvergenceError(
-                        f"Newton failed at t={t + dt_try:.3e}s in {self.circuit.name} "
-                        f"even after {MAX_SUBDIVISIONS} step subdivisions"
-                    )
-                continue
+                if dt >= dt_floor:
+                    continue
+                # Halving is exhausted: the rescue ladder either saves
+                # the step at dt_try or raises with the full report.
+                xp_new = self._rescue(assembler, xp, t + dt_try, dt_try, stats)
+                rescued = True
 
-            if xp_hist is not None:
+            if rescued:
+                # A rescued state was reached through a deformed-system
+                # continuation; an LTE estimate extrapolated across it
+                # is meaningless, so accept and restart the predictor.
+                dt_next = dt_try
+            elif xp_hist is not None:
                 pred = xp + (xp - xp_hist) * (dt_try / dt_hist)
                 gap = float(np.max(np.abs(xp_new[:n_nodes] - pred[:n_nodes]))) if n_nodes else 0.0
                 err = gap * dt_try / (dt_try + dt_hist)
@@ -485,8 +543,9 @@ class CircuitSession:
             for name, idx in current_indices.items():
                 current_samples[name].append(-xp[idx])
 
-            if at_break:
-                # Source slope just changed: a predictor spanning the
+            if at_break or rescued:
+                # Source slope just changed (or the state came from a
+                # rescue continuation): a predictor spanning the
                 # discontinuity is meaningless, and a large step would
                 # smear the event — restart both.
                 xp_hist = None
@@ -506,6 +565,8 @@ class CircuitSession:
             name: np.interp(grid, ts_arr, np.asarray(vals))
             for name, vals in current_samples.items()
         }
+        assert_finite(traces, "circuit.solver.simulate")
+        assert_finite(current_traces, "circuit.solver.simulate")
         return TransientResult(
             time=grid,
             voltages=traces,
@@ -518,25 +579,41 @@ class CircuitSession:
     # Newton iteration                                                    #
     # ------------------------------------------------------------------ #
 
-    def _newton(self, assembler, xp, t, dt, stats) -> Optional[np.ndarray]:
-        """One backward-Euler step via damped Newton; ``None`` if it diverges.
+    def _newton(
+        self, assembler, xp, t, dt, stats, gshunt=0.0, source_scale=1.0
+    ) -> NewtonProbe:
+        """One backward-Euler step via damped Newton.
 
         Semantics match the seed solver exactly: the update norm is taken
         over node voltages only, steps larger than 0.5 V are damped, and
         convergence is declared when the undamped update drops below
-        ``abstol``.
+        ``abstol``.  The returned :class:`NewtonProbe` carries the
+        solution (or ``None``), iteration count, last residual, and
+        worst node — the telemetry the rescue ladder records per rung.
+        A singular system is reported as a failed probe rather than
+        raised, so rescue deformation gets a chance to cure it.
+
+        ``gshunt``/``source_scale`` pass through to the assembler; at
+        their defaults the assembled system is bit-identical to the
+        pre-rescue solver's.
         """
         size, n_nodes = assembler.size, assembler.n_nodes
+        delta = 0.0
+        worst = -1
+        iters = 0
         try:
-            iterate = assembler.prepare_step(xp, t, dt, stats)
+            iterate = assembler.prepare_step(
+                xp, t, dt, stats, gshunt=gshunt, source_scale=source_scale
+            )
             xp_new = xp.copy()
             for _ in range(self.max_newton):
                 x_next = iterate(xp_new)
-                delta = (
-                    float(np.max(np.abs(x_next[:n_nodes] - xp_new[:n_nodes])))
-                    if n_nodes
-                    else 0.0
-                )
+                if n_nodes:
+                    diff = np.abs(x_next[:n_nodes] - xp_new[:n_nodes])
+                    worst = int(np.argmax(diff))
+                    delta = float(diff[worst])
+                else:
+                    delta = 0.0
                 # Damp large Newton steps to keep square-law devices in a
                 # sane region; undamped steps can overshoot by rails.
                 if delta > _MAX_NEWTON_STEP:
@@ -544,13 +621,12 @@ class CircuitSession:
                 else:
                     xp_new[:size] = x_next
                 stats.newton_iterations += 1
+                iters += 1
                 if delta < self.abstol:
-                    return xp_new
-            return None
+                    return NewtonProbe(xp_new, iters, delta, worst)
+            return NewtonProbe(None, iters, delta, worst)
         except SingularSystemError as exc:
-            raise ConvergenceError(
-                f"singular MNA matrix at t={t:.3e}s in {self.circuit.name}"
-            ) from exc
+            return NewtonProbe(None, iters, delta, worst, singular=str(exc))
 
 
 class TransientSolver:

@@ -219,8 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos",
         metavar="SPEC",
         default=None,
-        help="arm deterministic fault injection, e.g. 'raise@2,kill@0' "
-        "(action@cell[:attempt|*][=seconds]; also via $VRL_DRAM_FAULTS)",
+        help="arm deterministic fault injection, e.g. 'raise@2,kill@0' or "
+        "'nan@0,diverge@1,jitfail@*' (action@cell[:attempt|*][=seconds] with "
+        "cell '*' striking every cell; actions: raise, hang, kill, interrupt, "
+        "nan, diverge, jitfail; also via $VRL_DRAM_FAULTS)",
     )
     parser.set_defaults(spice=True)
     return parser

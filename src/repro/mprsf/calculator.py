@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..guard import assert_finite
 from ..model.leakage import LeakageModel
 from ..model.trfc import RefreshLatencyModel, RefreshTiming
 from ..retention.data_patterns import DataPattern, worst_pattern
@@ -203,7 +204,8 @@ class MPRSFCalculator:
             adaptive=adaptive,
             initial_overrides={"cell": start_fraction * self.tech.vdd},
         )
-        return float(result["cell"][-1]) / self.tech.vdd
+        fraction = float(result["cell"][-1]) / self.tech.vdd
+        return assert_finite(fraction, "mprsf.circuit_restored_fraction", "fraction")
 
     def mprsf_for_rows(
         self,

@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..guard import assert_finite
 from ..model.trfc import RefreshLatencyModel, RefreshTiming
 from ..retention.binning import BinningResult
 from ..retention.data_patterns import DataPattern
@@ -149,7 +150,8 @@ class TauPartialOptimizer:
         """
         m = mprsf.astype(float)
         avg_cost = (m * tau_partial + tau_full) / (m + 1.0)
-        return float(np.sum(avg_cost / row_period))
+        overhead = float(np.sum(avg_cost / row_period))
+        return assert_finite(overhead, "mprsf.vrl_overhead", "overhead")
 
     @staticmethod
     def raidr_overhead(row_period: np.ndarray, tau_full: int) -> float:

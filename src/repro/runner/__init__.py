@@ -40,6 +40,8 @@ from .faults import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    clear_fault_state,
+    ensure_faults_observed,
     parse_faults,
 )
 from .manifest import (
@@ -66,6 +68,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "clear_fault_state",
+    "ensure_faults_observed",
     "MANIFEST_SCHEMA",
     "ResultCache",
     "RunReport",

@@ -18,8 +18,10 @@ never crashed on.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
@@ -27,6 +29,10 @@ from .. import __version__
 
 #: Bumped when the on-disk entry layout changes (invalidates old caches).
 CACHE_SCHEMA = 1
+
+#: Per-process tiebreaker so concurrent :meth:`ResultCache.put` calls in
+#: one thread (e.g. re-entrant signal handlers) still stage uniquely.
+_put_counter = itertools.count()
 
 
 def canonical_json(value: Any) -> str:
@@ -94,11 +100,15 @@ class ResultCache:
     def put(self, key: str, payload: dict, meta: Optional[Mapping[str, Any]] = None) -> Path:
         """Store ``payload`` under ``key`` atomically; returns the path.
 
-        Crash-safe: the entry is serialized to a sibling ``.tmp`` file,
-        flushed and fsynced, then renamed over the destination with
-        ``os.replace`` — a worker killed mid-write can leave at most a
-        stray ``.tmp`` file, never a torn ``<key>.json`` (and a torn
-        entry would be healed by :meth:`get` regardless).
+        Crash-safe and race-safe: the entry is serialized to a sibling
+        ``.tmp`` file unique to this call (pid + thread + counter, so
+        concurrent writers — threads included — never share a staging
+        file), flushed and fsynced, then renamed over the destination
+        with ``os.replace`` — a worker killed mid-write can leave at
+        most a stray ``.tmp`` file, never a torn ``<key>.json`` (and a
+        torn entry would be healed by :meth:`get` regardless).  Racing
+        writers for the same key each land a complete entry; the last
+        rename wins.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
@@ -109,7 +119,9 @@ class ResultCache:
             "meta": dict(meta) if meta else {},
             "payload": payload,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}.{next(_put_counter)}"
+        )
         try:
             with tmp.open("w") as fh:
                 fh.write(json.dumps(entry, sort_keys=True))

@@ -20,7 +20,14 @@ went wrong, precisely enough to triage offline from the run manifest:
 * ``attempts`` — how many times the cell was tried before giving up
   (1 means it failed on the first and only attempt);
 * ``key`` — the cell's content-address (params hash), so a failed cell
-  can be matched against caches, checkpoints, and re-runs.
+  can be matched against caches, checkpoints, and re-runs;
+* ``diagnostics`` — structured payloads extracted from exceptions that
+  carry them: a solver :class:`~repro.circuit.rescue.ConvergenceError`
+  contributes its full rescue-ladder
+  :class:`~repro.circuit.rescue.ConvergenceReport` under
+  ``"convergence"``, and a :class:`~repro.guard.NumericalError`
+  contributes its boundary/array/index record under ``"numerical"`` —
+  both survive the JSON roundtrip into checkpoints and manifests.
 """
 
 from __future__ import annotations
@@ -48,6 +55,10 @@ class CellError:
             timeouts / crashes.
         traceback: formatted traceback when one is available.
         attempts: total attempts made (initial try + retries).
+        diagnostics: structured payloads from diagnostics-bearing
+            exceptions (``"convergence"`` for rescue-ladder reports,
+            ``"numerical"`` for finite-value guard records); empty for
+            exceptions that carry none.
     """
 
     kind: str
@@ -58,6 +69,7 @@ class CellError:
     message: str = ""
     traceback: str = ""
     attempts: int = 1
+    diagnostics: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.kind not in ERROR_KINDS:
@@ -76,10 +88,23 @@ class CellError:
         attempts: int = 1,
         kind: str = "exception",
     ) -> "CellError":
-        """Capture a raised exception (type, message, traceback)."""
+        """Capture a raised exception (type, message, traceback).
+
+        Diagnostics-bearing exceptions contribute structured payloads:
+        a ``report`` attribute with ``to_dict`` (solver convergence
+        reports) lands under ``"convergence"``; a ``boundary``
+        attribute with ``to_dict`` (finite-value guard errors) lands
+        under ``"numerical"``.
+        """
         tb = "".join(
             _traceback.format_exception(type(exc), exc, exc.__traceback__)
         )
+        diagnostics: dict[str, Any] = {}
+        report = getattr(exc, "report", None)
+        if report is not None and hasattr(report, "to_dict"):
+            diagnostics["convergence"] = report.to_dict()
+        if hasattr(exc, "boundary") and hasattr(exc, "to_dict"):
+            diagnostics["numerical"] = exc.to_dict()
         return cls(
             kind=kind,
             cell_kind=cell_kind,
@@ -89,6 +114,7 @@ class CellError:
             message=str(exc),
             traceback=tb,
             attempts=attempts,
+            diagnostics=diagnostics,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -102,6 +128,7 @@ class CellError:
             "message": self.message,
             "traceback": self.traceback,
             "attempts": self.attempts,
+            "diagnostics": self.diagnostics,
         }
 
     @classmethod
@@ -116,6 +143,7 @@ class CellError:
             message=record.get("message", ""),
             traceback=record.get("traceback", ""),
             attempts=int(record.get("attempts", 1)),
+            diagnostics=record.get("diagnostics", {}) or {},
         )
 
     def summary(self) -> str:

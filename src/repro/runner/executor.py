@@ -34,8 +34,10 @@ Fault tolerance (see ``docs/architecture.md`` for the full semantics):
   the unfinished cells;
 * the :mod:`~repro.runner.faults` plan (``faults=`` argument or the
   ``VRL_DRAM_FAULTS`` env var) deterministically injects raise / hang /
-  kill faults into chosen cells for chaos testing.  Fault cell indices
-  count the *computed* cells (cache misses) in submission order.
+  kill faults — and the numeric chaos actions ``nan`` / ``diverge`` /
+  ``jitfail`` — into chosen cells for chaos testing.  Fault cell
+  indices count the *computed* cells (cache misses) in submission
+  order; ``*`` strikes every computed cell.
 
 Determinism: cells are self-contained recipes, so the payloads do not
 depend on ``jobs``, cache state, retries, or pool respawns; the
@@ -63,7 +65,15 @@ from typing import Any, Callable, Optional, Sequence, Union
 from .cache import ResultCache, cache_key
 from .cells import Cell, compute_cell
 from .errors import CellError
-from .faults import FaultPlan, FaultSpec, InjectedFault, execute_fault, plan_from
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    clear_fault_state,
+    ensure_faults_observed,
+    execute_fault,
+    plan_from,
+)
 from .manifest import (
     CheckpointWriter,
     load_checkpoint,
@@ -83,12 +93,19 @@ def _compute_timed(
 
     ``fault`` is the pre-resolved injection for this (cell, attempt) —
     shipped from the parent so chaos runs stay deterministic regardless
-    of which worker picks the cell up.
+    of which worker picks the cell up.  Process-local chaos state
+    (armed NaN injections, forced jit failures) is always cleared on
+    the way out so a fault never leaks into the next cell this process
+    computes.
     """
     t0 = time.perf_counter()
-    if fault is not None:
-        execute_fault(fault)
-    payload = compute_cell(kind, params)
+    try:
+        if fault is not None:
+            execute_fault(fault)
+        payload = compute_cell(kind, params)
+        ensure_faults_observed(fault)
+    finally:
+        clear_fault_state()
     return payload, time.perf_counter() - t0, str(os.getpid())
 
 
@@ -133,6 +150,8 @@ class CellOutcome:
                 "exception_type": self.error.exception_type,
                 "message": self.error.message,
             }
+            if self.error.diagnostics:
+                entry["error"]["diagnostics"] = self.error.diagnostics
         return entry
 
     def checkpoint_entry(self) -> dict:

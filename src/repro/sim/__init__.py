@@ -29,6 +29,7 @@ bank" under each policy.  This package is that simulator:
   Markov prediction of VRL-Access behaviour from window coverage.
 """
 
+from .backends import validate_backend
 from .bank import Bank
 from .engine import BankSimulator, SimulationResult
 from .fastpath import RefreshOverheadEvaluator
@@ -63,6 +64,7 @@ from .trace_stats import (
 from .trace import MemoryTrace, load_trace, merge_traces, save_trace
 
 __all__ = [
+    "validate_backend",
     "Bank",
     "BankSimulator",
     "SimulationResult",

@@ -22,6 +22,8 @@ and numpy variants bit-identical on randomized inputs.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -31,6 +33,18 @@ try:  # pragma: no cover - exercised only where numba is installed
 except ImportError:  # pragma: no cover - the default in slim images
     njit = None
     NUMBA_AVAILABLE = False
+
+#: Environment variable that makes every jitted-kernel request fail.
+#: Set by the runner's ``jitfail`` chaos action to exercise the
+#: numba -> numpy auto-downgrade ladder deterministically (a real numba
+#: miscompile cannot be provoked on demand, and slim images have no
+#: numba at all).
+FORCE_JIT_FAILURE_ENV = "VRL_DRAM_FORCE_JIT_FAILURE"
+
+
+def jit_failure_forced() -> bool:
+    """Whether the chaos harness is forcing jitted kernels to fail."""
+    return os.environ.get(FORCE_JIT_FAILURE_ENV, "") not in ("", "0")
 
 
 def _segmented_fulls_loop(counts, phase, cycle_len, reset_rows, reset_ordinals,
@@ -120,6 +134,8 @@ def segmented_fulls(
         ``(fulls, final_phase)`` — ``int64 (n_rows,)`` arrays; partials
         are ``counts - fulls``.
     """
+    if use_numba and jit_failure_forced():
+        raise RuntimeError(f"injected jit failure ({FORCE_JIT_FAILURE_ENV} is set)")
     fulls, final_phase = _closed_form(counts, phase, cycle_len)
     if len(reset_rows) == 0:
         return fulls, final_phase
@@ -178,6 +194,8 @@ def crossing_kinds(
         crossing ``k`` of a row is full iff
         ``(k + phase) % cycle_len == cycle_len - 1``.
     """
+    if use_numba and jit_failure_forced():
+        raise RuntimeError(f"injected jit failure ({FORCE_JIT_FAILURE_ENV} is set)")
     kinds = np.empty(len(rows), dtype=np.uint8)
     if use_numba and NUMBA_AVAILABLE:  # pragma: no cover - numba-only images
         return _crossing_kinds_jit(rows, ordinals, phase, cycle_len, kinds)

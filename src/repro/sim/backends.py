@@ -1,0 +1,33 @@
+"""Shared backend-name validation for the simulation stack.
+
+Three consumers accept a ``backend=`` knob — the fused timeline
+(``("auto", "numpy", "numba")``), the refresh-overhead evaluator
+(``("auto", "fused", "numba", "loop")``), and the rank simulator
+(``("auto", "fused", "loop")``).  They all need the same two checks
+with the same one-line messages: the name must be in the allowed set,
+and ``"numba"`` may only be requested where numba is importable.
+Keeping the checks here (instead of three hand-rolled copies) keeps
+the messages consistent and the auto-downgrade machinery in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ._timeline_kernels import NUMBA_AVAILABLE
+
+__all__ = ["validate_backend"]
+
+
+def validate_backend(backend: str, allowed: Sequence[str]) -> str:
+    """Validate a backend name against ``allowed``; returns it unchanged.
+
+    Raises:
+        ValueError: one-line message when the name is unknown or when
+            ``"numba"`` is requested without numba installed.
+    """
+    if backend not in allowed:
+        raise ValueError(f"backend must be one of {tuple(allowed)}, got {backend!r}")
+    if backend == "numba" and not NUMBA_AVAILABLE:
+        raise ValueError("backend='numba' requested but numba is not installed")
+    return backend

@@ -44,9 +44,11 @@ from typing import Optional
 import numpy as np
 
 from ..controller.refresh import RefreshPolicy
+from ..guard import NumericalError
+from .backends import validate_backend
 from .schedule import deadline_counts, first_deadlines, period_cycles, row_deadlines
 from .stats import RefreshStats
-from .timeline import NUMBA_AVAILABLE, FusedTimeline
+from .timeline import FusedTimeline
 from .timing import DRAMTiming
 from .trace import MemoryTrace
 
@@ -67,22 +69,35 @@ class RefreshOverheadEvaluator:
             jitted kernels) and raise for unsupported policies;
             ``"loop"`` forces the PR 3 round walk (the differential
             oracle).
+        shadow_verify: cross-check cadence for ``backend="auto"``:
+            every ``shadow_verify``-th evaluation (plus the first) is
+            replayed in full through the round-walk oracle and compared.
+            A disagreement permanently downgrades the evaluator to the
+            loop backend (with the downgrade recorded in
+            :attr:`downgrades`) and the oracle's statistics are
+            returned.  ``0`` (the default) disables the cross-check;
+            each verified evaluation costs one extra oracle replay.
     """
 
     def __init__(
-        self, policy: RefreshPolicy, timing: DRAMTiming, backend: str = "auto"
+        self,
+        policy: RefreshPolicy,
+        timing: DRAMTiming,
+        backend: str = "auto",
+        shadow_verify: int = 0,
     ):
-        if backend not in EVALUATOR_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {EVALUATOR_BACKENDS}, got {backend!r}"
-            )
-        if backend == "numba" and not NUMBA_AVAILABLE:
-            raise ValueError("backend='numba' requested but numba is not installed")
+        validate_backend(backend, EVALUATOR_BACKENDS)
+        if shadow_verify < 0:
+            raise ValueError(f"shadow_verify must be >= 0, got {shadow_verify}")
         self.policy = policy
         self.timing = timing
+        self._auto = backend == "auto"
         if backend == "auto" and not policy.supports_fused_timeline():
             backend = "loop"
         self.backend = backend
+        self.shadow_verify = shadow_verify
+        self.downgrades: list[dict] = []
+        self._evaluations = 0
         self._timeline: Optional[FusedTimeline] = None
 
     @property
@@ -151,6 +166,22 @@ class RefreshOverheadEvaluator:
             had_access[row, : counts[row]] = np.diff(np.concatenate(([0], seen))) > 0
         return had_access
 
+    def _note_downgrade(self, came_from: str, reason: str) -> None:
+        """Permanently drop to the round-walk oracle and record why."""
+        self.downgrades.append(
+            {"from": came_from, "to": "loop", "reason": reason}
+        )
+        self.backend = "loop"
+        self._timeline = None
+
+    def _shadow_due(self) -> bool:
+        """Whether this evaluation should be replayed through the oracle."""
+        if not self.shadow_verify:
+            return False
+        return (
+            self._evaluations == 1 or self._evaluations % self.shadow_verify == 0
+        )
+
     def evaluate(
         self,
         duration_cycles: int,
@@ -160,7 +191,12 @@ class RefreshOverheadEvaluator:
 
         Dispatches to the configured backend; every backend returns
         bit-identical statistics (the three-way differential harness
-        pins this).
+        pins this).  Under ``backend="auto"`` an unexpected fused-path
+        failure (anything other than input validation or a finite-value
+        guard) permanently downgrades the evaluator to the round-walk
+        oracle, and sampled evaluations are optionally shadow-verified
+        against the oracle (see ``shadow_verify``); both events land in
+        :attr:`downgrades`.
 
         Args:
             duration_cycles: simulation horizon; refreshes due at or
@@ -169,9 +205,51 @@ class RefreshOverheadEvaluator:
                 used).
         """
         timeline = self.timeline
-        if timeline is not None:
-            return timeline.evaluate(duration_cycles, trace)
-        return self._evaluate_loop(duration_cycles, trace)
+        if timeline is None:
+            return self._evaluate_loop(duration_cycles, trace)
+        try:
+            stats = timeline.evaluate(duration_cycles, trace)
+        except (ValueError, NumericalError):
+            raise
+        except Exception as exc:
+            if not self._auto:
+                raise
+            self._note_downgrade("fused", f"{type(exc).__name__}: {exc}")
+            return self._evaluate_loop(duration_cycles, trace)
+        if timeline.downgraded_from is not None and not any(
+            d["from"] == timeline.downgraded_from for d in self.downgrades
+        ):
+            # Surface the timeline's internal numba -> numpy drop so one
+            # telemetry point covers the whole ladder (the evaluator
+            # itself stays on the fused path: numpy kernels are exact).
+            self.downgrades.append(
+                {
+                    "from": timeline.downgraded_from,
+                    "to": "numpy",
+                    "reason": timeline.downgrade_reason,
+                }
+            )
+        self._evaluations += 1
+        if self._auto and self._shadow_due():
+            oracle = self._evaluate_loop(duration_cycles, trace)
+            fused_key = (
+                stats.full_refreshes,
+                stats.partial_refreshes,
+                stats.refresh_cycles,
+            )
+            oracle_key = (
+                oracle.full_refreshes,
+                oracle.partial_refreshes,
+                oracle.refresh_cycles,
+            )
+            if fused_key != oracle_key:
+                self._note_downgrade(
+                    "fused",
+                    "shadow verify disagreement: fused "
+                    f"(full, partial, cycles)={fused_key} vs oracle {oracle_key}",
+                )
+                return oracle
+        return stats
 
     def _evaluate_loop(
         self,

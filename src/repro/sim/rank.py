@@ -29,8 +29,10 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..controller.refresh import RefreshPolicy
+from ..guard import NumericalError
 from ..technology import BankGeometry, DEFAULT_GEOMETRY
 from ._timeline_kernels import crossing_kinds
+from .backends import validate_backend
 from .bank import Bank
 from .schedule import (
     ALL_BANK_ROWS_PER_REF,
@@ -63,6 +65,11 @@ class RankResult:
             refreshing (rank-level unavailability).
         duration_cycles: simulated horizon.
         mode: ``"per-bank"`` or ``"all-bank"``.
+        downgraded_from: backend originally selected when an automatic
+            fallback kicked in (``"fused"``), ``None`` when the run
+            completed on the backend it started on.
+        downgrade_reason: one-line cause of the downgrade (empty when
+            ``downgraded_from`` is ``None``).
     """
 
     per_bank_refresh: list[RefreshStats]
@@ -70,6 +77,8 @@ class RankResult:
     blocked_cycles: int
     duration_cycles: int
     mode: str
+    downgraded_from: Optional[str] = None
+    downgrade_reason: str = ""
 
     @property
     def total_refresh_cycles(self) -> int:
@@ -209,10 +218,11 @@ class RankSimulator:
                 otherwise; ``"fused"`` forces the fused path (raises if
                 the run is not refresh-only fused-representable);
                 ``"loop"`` forces the event loop (the differential
-                oracle).
+                oracle).  Under ``"auto"``, an unexpected fused-path
+                failure falls back to the event loop with the downgrade
+                recorded on the result.
         """
-        if backend not in RANK_BACKENDS:
-            raise ValueError(f"backend must be one of {RANK_BACKENDS}, got {backend!r}")
+        validate_backend(backend, RANK_BACKENDS)
         if duration_cycles is None:
             if trace is None or len(trace) == 0:
                 raise ValueError("need a trace or an explicit duration")
@@ -256,12 +266,34 @@ class RankSimulator:
         fused = backend == "fused" or (
             backend == "auto" and self._fused_eligible(trace)
         )
+        downgraded_from: Optional[str] = None
+        downgrade_reason = ""
         if fused:
-            if self.all_bank_refresh:
-                blocked = self._run_all_bank_fused(duration_cycles, refresh_stats)
-            else:
-                blocked = self._run_per_bank_fused(duration_cycles, refresh_stats)
-        else:
+            try:
+                if self.all_bank_refresh:
+                    blocked = self._run_all_bank_fused(duration_cycles, refresh_stats)
+                else:
+                    blocked = self._run_per_bank_fused(duration_cycles, refresh_stats)
+            except (ValueError, NumericalError):
+                raise
+            except Exception as exc:
+                if backend != "auto":
+                    raise
+                # The fused walk may have mutated policy/bank state and
+                # partially filled the stats before failing; rewind
+                # everything and replay through the event-loop oracle.
+                downgraded_from = "fused"
+                downgrade_reason = f"{type(exc).__name__}: {exc}"
+                for bank in self.banks:
+                    bank.reset()
+                for policy in self.policies:
+                    policy.reset()
+                refresh_stats[:] = [
+                    RefreshStats(duration_cycles=duration_cycles)
+                    for _ in self.policies
+                ]
+                fused = False
+        if not fused:
             if self.all_bank_refresh:
                 self._run_all_bank(
                     trace, banks_for_requests, duration_cycles, refresh_stats,
@@ -279,6 +311,8 @@ class RankSimulator:
             blocked_cycles=blocked,
             duration_cycles=duration_cycles,
             mode="all-bank" if self.all_bank_refresh else "per-bank",
+            downgraded_from=downgraded_from,
+            downgrade_reason=downgrade_reason,
         )
 
     def _serve_request(self, bank_index, arrival, row, is_write, request_stats):

@@ -40,7 +40,14 @@ from typing import Optional
 import numpy as np
 
 from ..controller.refresh import RefreshPolicy
-from ._timeline_kernels import NUMBA_AVAILABLE, segmented_fulls
+from ..guard import NumericalError, assert_finite
+from ._timeline_kernels import (
+    FORCE_JIT_FAILURE_ENV,
+    NUMBA_AVAILABLE,
+    jit_failure_forced,
+    segmented_fulls,
+)
+from .backends import validate_backend
 from .schedule import (
     deadline_counts,
     first_deadlines,
@@ -73,12 +80,19 @@ class TimelineReport:
         resets: access-driven cadence restarts applied.
         epochs: timeline windows the horizon was split into.
         backend: kernel backend that ran (``"numpy"`` or ``"numba"``).
+        downgraded_from: backend originally selected when an automatic
+            downgrade occurred (e.g. ``"numba"`` after a jit failure),
+            else ``None``.
+        downgrade_reason: one-line cause of the downgrade (empty when
+            no downgrade occurred).
     """
 
     crossings: int
     resets: int
     epochs: int
     backend: str
+    downgraded_from: Optional[str] = None
+    downgrade_reason: str = ""
 
 
 class FusedTimeline:
@@ -119,17 +133,24 @@ class FusedTimeline:
                 "matching timeline_spec; use the round-walk evaluator "
                 "(RefreshOverheadEvaluator backend='auto' falls back automatically)"
             )
-        if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-        if backend == "numba" and not NUMBA_AVAILABLE:
-            raise ValueError("backend='numba' requested but numba is not installed")
+        validate_backend(backend, BACKENDS)
         if epoch_cycles is not None and epoch_cycles <= 0:
             raise ValueError(f"epoch_cycles must be positive, got {epoch_cycles}")
         self.policy = policy
         self.timing = timing
         self.epoch_cycles = epoch_cycles
+        self._strict = backend != "auto"
         self._use_numba = NUMBA_AVAILABLE if backend == "auto" else backend == "numba"
         self.backend = "numba" if self._use_numba else "numpy"
+        self.downgraded_from: Optional[str] = None
+        self.downgrade_reason: str = ""
+        if backend == "auto" and not NUMBA_AVAILABLE and jit_failure_forced():
+            # No jitted kernel exists to fail at runtime on this image;
+            # the chaos harness still wants the downgrade telemetry path
+            # exercised, so record the numba -> numpy downgrade up front.
+            self._note_downgrade(
+                "numba", f"injected jit failure ({FORCE_JIT_FAILURE_ENV} is set)"
+            )
         self._periods = period_cycles(policy, timing)
         self._first = first_deadlines(self._periods)
         self._counts_cache: tuple[int, np.ndarray] = (-1, np.empty(0, dtype=np.int64))
@@ -181,6 +202,13 @@ class FusedTimeline:
         fresh[1:] = (rows[1:] != rows[:-1]) | (ordinals[1:] != ordinals[:-1])
         return rows[fresh], ordinals[fresh]
 
+    def _note_downgrade(self, came_from: str, reason: str) -> None:
+        """Record a backend downgrade and switch to the numpy kernels."""
+        self.downgraded_from = came_from
+        self.downgrade_reason = reason
+        self._use_numba = False
+        self.backend = "numpy"
+
     def evaluate(
         self,
         duration_cycles: int,
@@ -192,12 +220,35 @@ class FusedTimeline:
         :meth:`repro.sim.fastpath.RefreshOverheadEvaluator.evaluate`
         and the cycle-level engine's refresh accounting.
 
+        On ``backend="auto"``, a jitted-kernel failure downgrades the
+        evaluator to the numpy kernels and replays the evaluation —
+        bit-identical by invariant 11 — with the downgrade recorded in
+        :attr:`last_report`.  Forced backends stay strict and raise.
+
         Args:
             duration_cycles: simulation horizon; refreshes due at or
                 after it are not issued.
             trace: demand accesses (only their (row, cycle) structure
                 matters, and only for access-coupled policies).
         """
+        try:
+            return self._evaluate_once(duration_cycles, trace)
+        except (ValueError, NumericalError):
+            raise
+        except Exception as exc:
+            if self._strict or not self._use_numba:
+                raise
+            self._note_downgrade(self.backend, f"{type(exc).__name__}: {exc}")
+            # Replay is safe: the failed attempt mutated only local
+            # state (policy.reset() reruns, commit had not happened).
+            return self._evaluate_once(duration_cycles, trace)
+
+    def _evaluate_once(
+        self,
+        duration_cycles: int,
+        trace: Optional[MemoryTrace] = None,
+    ) -> RefreshStats:
+        """One evaluation on the currently-selected kernel backend."""
         if duration_cycles <= 0:
             raise ValueError(f"duration must be positive, got {duration_cycles}")
         self.policy.reset()
@@ -206,7 +257,11 @@ class FusedTimeline:
         counts = self._counts(duration_cycles)
         total_crossings = int(counts.sum())
         if total_crossings == 0:
-            self.last_report = TimelineReport(0, 0, 1, self.backend)
+            self.last_report = TimelineReport(
+                0, 0, 1, self.backend,
+                downgraded_from=self.downgraded_from,
+                downgrade_reason=self.downgrade_reason,
+            )
             return stats
 
         if spec.resets_on_access:
@@ -238,11 +293,14 @@ class FusedTimeline:
             total_fulls * int(spec.kind_latencies[0])
             + stats.partial_refreshes * int(spec.kind_latencies[1])
         )
+        assert_finite(float(stats.refresh_cycles), "sim.timeline.evaluate", "refresh_cycles")
         self.last_report = TimelineReport(
             crossings=total_crossings,
             resets=int(len(reset_rows)),
             epochs=epochs,
             backend=self.backend,
+            downgraded_from=self.downgraded_from,
+            downgrade_reason=self.downgrade_reason,
         )
         return stats
 

@@ -20,8 +20,9 @@ paper's reported cycle counts; see DESIGN.md §7.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
+from .guard import assert_finite
 from .units import AF, FF, KOHM, NS, OHM
 
 
@@ -160,6 +161,21 @@ class TechnologyParams:
 
     # --- fixed delay (Eq. 13) ----------------------------------------------
     t_fixed_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "TechnologyParams":
+        """Check every parameter is finite; returns self.
+
+        A NaN/Inf smuggled in through ``scaled()`` overrides or a sweep
+        config would otherwise surface only as a poisoned CSV several
+        layers downstream.  Raises
+        :class:`~repro.guard.NumericalError` naming the offending field.
+        """
+        for spec in fields(self):
+            assert_finite(getattr(self, spec.name), "technology.TechnologyParams", spec.name)
+        return self
 
     # ------------------------------------------------------------------ #
     # Derived electrical quantities                                       #

@@ -1,0 +1,248 @@
+"""Backend cross-check and auto-downgrade tests.
+
+The sim layer's backend ladders (timeline numba -> numpy, evaluator
+fused -> loop, rank fused -> event loop) must degrade automatically
+under ``backend="auto"`` — bit-identically, with the downgrade recorded
+in telemetry — while forced backends stay strict and raise.  The forced
+jit-failure hook (``VRL_DRAM_FORCE_JIT_FAILURE``, the runner's
+``jitfail`` chaos action) makes the numba rung fail deterministically
+even on images where numba cannot be installed.
+"""
+
+import pytest
+
+from repro.controller import build_policy
+from repro.retention import RefreshBinning, RetentionProfiler
+from repro.sim import (
+    DRAMTiming,
+    FusedTimeline,
+    RankSimulator,
+    RefreshOverheadEvaluator,
+    validate_backend,
+)
+from repro.sim._timeline_kernels import FORCE_JIT_FAILURE_ENV, NUMBA_AVAILABLE
+from repro.technology import BankGeometry, DEFAULT_TECH
+
+TIMING = DRAMTiming.from_technology(DEFAULT_TECH)
+GEOMETRY = BankGeometry(64, 8)
+DURATION = 400_000
+
+
+def _policy(seed=5):
+    profile = RetentionProfiler(seed=seed).profile(GEOMETRY)
+    binning = RefreshBinning().assign(profile)
+    return build_policy("vrl", DEFAULT_TECH, profile, binning)
+
+
+def _stats_key(stats):
+    return (stats.full_refreshes, stats.partial_refreshes, stats.refresh_cycles)
+
+
+class TestValidateBackend:
+    def test_unknown_backend_is_a_one_line_value_error(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            validate_backend("gpu", ("auto", "numpy"))
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+    def test_numba_without_numba_names_the_missing_dependency(self):
+        with pytest.raises(ValueError, match="numba is not installed"):
+            validate_backend("numba", ("auto", "numba"))
+
+    def test_valid_backend_is_returned_unchanged(self):
+        assert validate_backend("auto", ("auto", "loop")) == "auto"
+
+
+class TestTimelineDowngrade:
+    def test_forced_jit_failure_downgrades_auto_bit_identically(self, monkeypatch):
+        clean = FusedTimeline(_policy(), TIMING).evaluate(DURATION)
+
+        monkeypatch.setenv(FORCE_JIT_FAILURE_ENV, "1")
+        timeline = FusedTimeline(_policy(), TIMING, backend="auto")
+        if not NUMBA_AVAILABLE:
+            # No jitted kernel exists to fail at runtime; the downgrade
+            # is recorded at construction so chaos telemetry still flows.
+            assert timeline.downgraded_from == "numba"
+        else:
+            timeline._use_numba = True  # ensure the runtime rung is hit
+        stats = timeline.evaluate(DURATION)
+        assert _stats_key(stats) == _stats_key(clean)
+        assert timeline.backend == "numpy"
+        assert timeline.downgraded_from is not None
+        assert timeline.downgrade_reason
+        report = timeline.last_report
+        assert report.downgraded_from == timeline.downgraded_from
+        assert report.downgrade_reason == timeline.downgrade_reason
+
+    def test_runtime_kernel_failure_replays_on_numpy(self, monkeypatch):
+        clean = FusedTimeline(_policy(), TIMING).evaluate(DURATION)
+        timeline = FusedTimeline(_policy(), TIMING, backend="auto")
+        # Simulate a numba image whose jitted kernel dies mid-call.
+        timeline._use_numba = True
+        timeline.backend = "numba"
+        monkeypatch.setenv(FORCE_JIT_FAILURE_ENV, "1")
+        stats = timeline.evaluate(DURATION)
+        assert _stats_key(stats) == _stats_key(clean)
+        assert timeline.downgraded_from == "numba"
+        assert "injected jit failure" in timeline.downgrade_reason
+
+    def test_forced_backend_stays_strict(self, monkeypatch):
+        timeline = FusedTimeline(_policy(), TIMING, backend="numpy")
+        timeline._use_numba = True  # a strict backend never downgrades
+        monkeypatch.setenv(FORCE_JIT_FAILURE_ENV, "1")
+        with pytest.raises(RuntimeError, match="injected jit failure"):
+            timeline.evaluate(DURATION)
+
+    def test_input_validation_is_never_swallowed_as_a_downgrade(self):
+        timeline = FusedTimeline(_policy(), TIMING, backend="auto")
+        with pytest.raises(ValueError, match="duration must be positive"):
+            timeline.evaluate(0)
+        assert timeline.downgraded_from is None
+
+
+class TestEvaluatorDowngrade:
+    def test_fused_failure_downgrades_auto_to_loop(self, monkeypatch):
+        evaluator = RefreshOverheadEvaluator(_policy(), TIMING, backend="auto")
+        oracle = RefreshOverheadEvaluator(
+            _policy(), TIMING, backend="loop"
+        ).evaluate(DURATION)
+
+        def boom(duration_cycles, trace=None):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(evaluator.timeline, "evaluate", boom)
+        stats = evaluator.evaluate(DURATION)
+        assert _stats_key(stats) == _stats_key(oracle)
+        assert evaluator.backend == "loop"
+        assert evaluator.timeline is None
+        assert evaluator.downgrades == [
+            {"from": "fused", "to": "loop", "reason": "RuntimeError: kernel exploded"}
+        ]
+        # Subsequent evaluations stay on the loop oracle.
+        assert _stats_key(evaluator.evaluate(DURATION)) == _stats_key(oracle)
+
+    def test_forced_fused_backend_stays_strict(self, monkeypatch):
+        evaluator = RefreshOverheadEvaluator(_policy(), TIMING, backend="fused")
+
+        def boom(duration_cycles, trace=None):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(evaluator.timeline, "evaluate", boom)
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            evaluator.evaluate(DURATION)
+        assert evaluator.downgrades == []
+
+    def test_shadow_verify_agreement_keeps_the_fused_path(self):
+        evaluator = RefreshOverheadEvaluator(
+            _policy(), TIMING, backend="auto", shadow_verify=1
+        )
+        oracle = RefreshOverheadEvaluator(
+            _policy(), TIMING, backend="loop"
+        ).evaluate(DURATION)
+        stats = evaluator.evaluate(DURATION)
+        assert _stats_key(stats) == _stats_key(oracle)
+        assert evaluator.backend != "loop"
+        assert evaluator.downgrades == []
+
+    def test_shadow_verify_disagreement_downgrades_and_returns_oracle(
+        self, monkeypatch
+    ):
+        evaluator = RefreshOverheadEvaluator(
+            _policy(), TIMING, backend="auto", shadow_verify=1
+        )
+        oracle = RefreshOverheadEvaluator(
+            _policy(), TIMING, backend="loop"
+        ).evaluate(DURATION)
+        honest = evaluator.timeline.evaluate
+
+        def corrupted(duration_cycles, trace=None):
+            stats = honest(duration_cycles, trace)
+            stats.refresh_cycles += 1  # a silent miscompile
+            return stats
+
+        monkeypatch.setattr(evaluator.timeline, "evaluate", corrupted)
+        stats = evaluator.evaluate(DURATION)
+        assert _stats_key(stats) == _stats_key(oracle)
+        assert evaluator.backend == "loop"
+        assert len(evaluator.downgrades) == 1
+        assert "shadow verify disagreement" in evaluator.downgrades[0]["reason"]
+
+    def test_shadow_verify_sampling_cadence(self, monkeypatch):
+        evaluator = RefreshOverheadEvaluator(
+            _policy(), TIMING, backend="auto", shadow_verify=3
+        )
+        verified = []
+        honest_loop = evaluator._evaluate_loop
+
+        def counting_loop(duration_cycles, trace=None):
+            verified.append(duration_cycles)
+            return honest_loop(duration_cycles, trace)
+
+        monkeypatch.setattr(evaluator, "_evaluate_loop", counting_loop)
+        for _ in range(6):
+            evaluator.evaluate(DURATION)
+        # Evaluations 1 (first), 3, and 6 are verified.
+        assert len(verified) == 3
+        assert evaluator.downgrades == []
+
+    def test_negative_shadow_verify_rejected(self):
+        with pytest.raises(ValueError, match="shadow_verify"):
+            RefreshOverheadEvaluator(_policy(), TIMING, shadow_verify=-1)
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+    def test_jitfail_surfaces_the_timeline_downgrade(self, monkeypatch):
+        monkeypatch.setenv(FORCE_JIT_FAILURE_ENV, "1")
+        evaluator = RefreshOverheadEvaluator(_policy(), TIMING, backend="auto")
+        clean = RefreshOverheadEvaluator(_policy(), TIMING).evaluate(DURATION)
+        stats = evaluator.evaluate(DURATION)
+        assert _stats_key(stats) == _stats_key(clean)
+        assert evaluator.downgrades == [
+            {
+                "from": "numba",
+                "to": "numpy",
+                "reason": f"injected jit failure ({FORCE_JIT_FAILURE_ENV} is set)",
+            }
+        ]
+        # The evaluator itself stays on the (numpy) fused path.
+        assert evaluator.backend != "loop"
+
+
+class TestRankDowngrade:
+    def test_fused_failure_falls_back_to_the_event_loop(self, monkeypatch):
+        policies = [_policy(seed=5), _policy(seed=6)]
+        oracle = RankSimulator(policies, TIMING, GEOMETRY).run(
+            duration_cycles=DURATION, backend="loop"
+        )
+
+        sim = RankSimulator([_policy(seed=5), _policy(seed=6)], TIMING, GEOMETRY)
+
+        def boom(duration_cycles, refresh_stats):
+            # Mimic a kernel that dies after partially mutating state.
+            refresh_stats[0].refresh_cycles = 123
+            sim.policies[0].refresh_row(0)
+            raise RuntimeError("fused walk exploded")
+
+        monkeypatch.setattr(sim, "_run_per_bank_fused", boom)
+        result = sim.run(duration_cycles=DURATION, backend="auto")
+        assert result.downgraded_from == "fused"
+        assert "fused walk exploded" in result.downgrade_reason
+        # The replayed event loop is bit-identical to a clean loop run.
+        assert result.blocked_cycles == oracle.blocked_cycles
+        for got, want in zip(result.per_bank_refresh, oracle.per_bank_refresh):
+            assert _stats_key(got) == _stats_key(want)
+
+    def test_forced_fused_backend_stays_strict(self, monkeypatch):
+        sim = RankSimulator([_policy()], TIMING, GEOMETRY)
+
+        def boom(duration_cycles, refresh_stats):
+            raise RuntimeError("fused walk exploded")
+
+        monkeypatch.setattr(sim, "_run_per_bank_fused", boom)
+        with pytest.raises(RuntimeError, match="fused walk exploded"):
+            sim.run(duration_cycles=DURATION, backend="fused")
+
+    def test_clean_run_reports_no_downgrade(self):
+        result = RankSimulator([_policy()], TIMING, GEOMETRY).run(
+            duration_cycles=DURATION
+        )
+        assert result.downgraded_from is None
+        assert result.downgrade_reason == ""

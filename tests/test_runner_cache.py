@@ -189,3 +189,71 @@ class TestCrashSafePut:
         assert cache.get(key) is None
         cache.put(key, {"v": 4})
         assert cache.get(key) == {"v": 4}
+
+
+class TestConcurrentPut:
+    """Racing writers must never tear an entry or crash each other.
+
+    Workers legitimately race ``put`` on one key (two sweeps sharing a
+    cache, a retry racing its predecessor).  Each call stages to a tmp
+    file unique to the writer, so every rename lands a complete entry
+    and the last one wins; a shared staging name would let one writer
+    truncate or unlink another's in-flight file.
+    """
+
+    def test_threads_racing_one_key_land_a_complete_entry(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = "e" * 64
+        n_writers, rounds = 8, 25
+        start = threading.Barrier(n_writers)
+        errors = []
+
+        def writer(worker):
+            try:
+                start.wait()
+                for r in range(rounds):
+                    cache.put(key, {"worker": worker, "round": r})
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(n_writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        payload = cache.get(key)
+        # Whoever won, the entry is complete and well-formed.
+        assert payload is not None
+        assert payload["round"] == rounds - 1
+        assert 0 <= payload["worker"] < n_writers
+        stray = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert stray == []
+
+    def test_racing_distinct_keys_all_survive(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        keys = [str(i) * 64 for i in range(6)]
+        start = threading.Barrier(len(keys))
+
+        def writer(key, value):
+            start.wait()
+            cache.put(key, {"v": value})
+
+        threads = [
+            threading.Thread(target=writer, args=(k, i))
+            for i, k in enumerate(keys)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i, k in enumerate(keys):
+            assert cache.get(k) == {"v": i}
+        assert len(cache) == len(keys)

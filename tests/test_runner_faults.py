@@ -94,17 +94,44 @@ class TestFaultGrammar:
         assert parse_faults("hang@0").needs_pool()
         assert not parse_faults("raise@0,interrupt@1").needs_pool()
 
+    def test_wildcard_cell_strikes_everything(self):
+        plan = parse_faults("jitfail@*")
+        assert plan.for_cell(0, 0).action == "jitfail"
+        assert plan.for_cell(999, 0).action == "jitfail"
+        assert plan.for_cell(0, 1) is None  # attempt filter still applies
+
+    def test_numeric_actions_parse(self):
+        plan = parse_faults("nan@0, diverge@1, jitfail@*")
+        assert plan.for_cell(0, 0).action == "nan"
+        assert plan.for_cell(1, 0).action == "diverge"
+        assert plan.for_cell(2, 0).action == "jitfail"
+
     @pytest.mark.parametrize(
         "bad",
-        ["explode@1", "raise", "raise@x", "raise@1:y", "hang@1=fast", "@3"],
+        [
+            "explode@1",
+            "raise",
+            "raise@x",
+            "raise@1:y",
+            "hang@1=fast",
+            "@3",
+            "raise@-1",
+            "nan@**",
+            "jitfail@1.5",
+            "hang@0=0",
+            "raise@1:",
+            "=@",
+        ],
     )
     def test_malformed_tokens_rejected(self, bad):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as info:
             parse_faults(bad)
+        assert "\n" not in str(info.value)  # one-line triage message
 
     def test_empty_spec_is_empty_plan(self):
         assert not parse_faults("")
         assert not FaultPlan()
+        assert not parse_faults(" , ,")
 
 
 class TestCellErrorTaxonomy:
@@ -323,15 +350,39 @@ class TestInterruptResume:
 
 
 class _ChatteringSource(Element):
-    """A pathological one-node element Newton can never converge on.
+    """A one-node element whose damped Newton enters an exact 2-cycle.
 
-    Its current chatters at 1e7 rad/V, so the damped Newton iteration
-    wanders chaotically and every step subdivision fails — the real
-    :class:`ConvergenceError` path, not a mock.
+    ``f(v) = v^3 - 2v + 2`` with a Jacobian stamp: the damped iteration
+    from 0 chatters between 0.5 and 1.0 forever and step halving cannot
+    break the cycle (the problem is time-independent) — but the gmin
+    rescue ladder deforms it to the real root near -1.7693.
     """
 
     def __init__(self):
         super().__init__("chatter")
+
+    def nodes(self):
+        return ["a"]
+
+    def stamp(self, G, I, x, v_prev, t, dt):
+        idx = self._indices[0]
+        v = x[idx]
+        f = v**3 - 2.0 * v + 2.0
+        df = 3.0 * v**2 - 2.0
+        G[idx, idx] += df
+        I[idx] += df * v - f
+
+
+class _DivergentSource(Element):
+    """A pathological one-node element no continuation can rescue.
+
+    Its current chatters at 1e7 rad/V (|f'| ~ 1e5 at every fixed
+    point), so damped Newton, step halving, *and* both rescue ladders
+    fail — the real :class:`ConvergenceError` path, not a mock.
+    """
+
+    def __init__(self):
+        super().__init__("divergent")
 
     def nodes(self):
         return ["a"]
@@ -347,9 +398,9 @@ class _ChatteringSource(Element):
 def _divergent_cell(params):
     """Test-only cell kind: run a circuit whose Newton solve diverges."""
     circuit = Circuit(name="chatter-test")
-    circuit.add(_ChatteringSource())
+    circuit.add(_DivergentSource())
     TransientSolver(circuit).run(t_stop=1e-9, dt=1e-10)
-    raise AssertionError("unreachable: chattering circuit converged")
+    raise AssertionError("unreachable: divergent circuit converged")
 
 
 class TestSolverFailurePropagation:
@@ -359,11 +410,25 @@ class TestSolverFailurePropagation:
     def divergent_kind(self, monkeypatch):
         monkeypatch.setitem(CELL_KINDS, "divergent-circuit", _divergent_cell)
 
-    def test_chattering_circuit_exhausts_subdivisions(self):
+    def test_chattering_circuit_is_rescued_by_gmin_stepping(self):
+        """The PR 2 chattering netlist now *completes* via the rescue ladder."""
         circuit = Circuit(name="chatter-direct")
         circuit.add(_ChatteringSource())
-        with pytest.raises(ConvergenceError, match="subdivisions"):
+        result = TransientSolver(circuit).run(t_stop=1e-9, dt=1e-10)
+        assert result.stats.rescues >= 1
+        assert result.stats.rescue_reports[0].stage == "gmin"
+        assert result.stats.rescue_reports[0].converged
+        # All rescued steps land on the cubic's real root.
+        assert result["a"][-1] == pytest.approx(-1.7692923542386314)
+
+    def test_unrescuable_circuit_exhausts_the_ladder(self):
+        circuit = Circuit(name="divergent-direct")
+        circuit.add(_DivergentSource())
+        with pytest.raises(ConvergenceError, match="subdivisions") as info:
             TransientSolver(circuit).run(t_stop=1e-9, dt=1e-10)
+        assert "rescue ladder exhausted" in str(info.value)
+        assert info.value.report is not None
+        assert not info.value.report.converged
 
     def test_convergence_error_becomes_failed_outcome(self, divergent_kind):
         cells = [CELLS[0], Cell("divergent-circuit", {"n": 1}, label="bad"), CELLS[1]]
@@ -374,6 +439,92 @@ class TestSolverFailurePropagation:
         assert error.exception_type == "ConvergenceError"
         assert f"after {MAX_SUBDIVISIONS} step subdivisions" in error.message
         assert "ConvergenceError" in error.traceback
+        # The structured rescue report rode along as diagnostics.
+        convergence = error.diagnostics["convergence"]
+        assert convergence["netlist"] == "chatter-test"
+        assert convergence["stage"] == "failed"
+        assert convergence["attempts"]
+
+
+class TestNumericChaosActions:
+    """The numeric chaos actions drive the resilience layer end to end."""
+
+    def test_nan_surfaces_as_structured_numerical_error(self, tmp_path):
+        report = ExperimentRunner(faults="nan@0", runs_dir=tmp_path).run(
+            CELLS[:3], "numeric-chaos"
+        )
+        assert [o.ok for o in report.outcomes] == [False, True, True]
+        error = report.outcomes[0].error
+        assert error.exception_type == "NumericalError"
+        assert "injected NaN at boundary" in error.message
+        numerical = error.diagnostics["numerical"]
+        assert numerical["injected"] is True
+        assert numerical["boundary"]  # names the tripped boundary
+        # The manifest carries the diagnostics for offline triage.
+        manifest = load_manifest(report.manifest_path)
+        entry = [c for c in manifest["cells"] if c["status"] == "failed"][0]
+        assert entry["error"]["diagnostics"]["numerical"]["injected"] is True
+
+    def test_nan_state_never_leaks_into_later_cells(self):
+        from repro import guard
+
+        report = ExperimentRunner(faults="nan@1").run(CELLS[:4], "numeric-chaos")
+        assert [o.ok for o in report.outcomes] == [True, False, True, True]
+        assert not guard.injection_armed()
+
+    def test_diverge_fails_with_authentic_convergence_report(self, tmp_path):
+        report = ExperimentRunner(faults="diverge@1", runs_dir=tmp_path).run(
+            CELLS[:3], "numeric-chaos"
+        )
+        assert [o.ok for o in report.outcomes] == [True, False, True]
+        error = report.outcomes[1].error
+        assert error.exception_type == "ConvergenceError"
+        convergence = error.diagnostics["convergence"]
+        assert convergence["stage"] == "failed"
+        assert convergence["netlist"].startswith("chaos-diverge")
+        assert convergence["attempts"]  # the full rescue ladder was walked
+
+    def test_jitfail_wildcard_degrades_row_wise_bit_identical(self, baseline):
+        import os
+
+        from repro.sim._timeline_kernels import FORCE_JIT_FAILURE_ENV
+
+        report = ExperimentRunner(faults="jitfail@*").run(CELLS, "numeric-chaos")
+        assert not report.failures
+        assert report.results == baseline  # downgrade is bit-identical
+        assert FORCE_JIT_FAILURE_ENV not in os.environ  # state cleared
+
+    def test_unconsumed_nan_is_a_loud_failure(self):
+        from repro import guard
+        from repro.runner.faults import (
+            FaultSpec,
+            clear_fault_state,
+            ensure_faults_observed,
+            execute_fault,
+        )
+
+        spec = FaultSpec("nan", 0)
+        execute_fault(spec)
+        assert guard.injection_armed()
+        with pytest.raises(guard.NumericalError, match="never observed"):
+            ensure_faults_observed(spec)
+        assert not guard.injection_armed()
+        clear_fault_state()  # idempotent
+
+    def test_clear_fault_state_pops_the_jit_env(self):
+        import os
+
+        from repro.runner.faults import (
+            FaultSpec,
+            clear_fault_state,
+            execute_fault,
+        )
+        from repro.sim._timeline_kernels import FORCE_JIT_FAILURE_ENV
+
+        execute_fault(FaultSpec("jitfail", None))
+        assert os.environ[FORCE_JIT_FAILURE_ENV] == "1"
+        clear_fault_state()
+        assert FORCE_JIT_FAILURE_ENV not in os.environ
 
 
 class TestDriverFailureTolerance:
