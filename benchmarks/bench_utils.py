@@ -23,6 +23,9 @@ TIMING = DRAMTiming.from_technology(DEFAULT_TECH)
 #: The committed benchmark-trajectory file (rows·intervals per second).
 BENCH_TIMELINE_JSON = Path(__file__).parent / "BENCH_timeline.json"
 
+#: The committed serving-layer trajectory file (queries per second).
+BENCH_SERVICE_JSON = Path(__file__).parent / "BENCH_service.json"
+
 
 def scalar_reference(policy, timing, duration_cycles):
     """The pre-refactor fastpath: one ``refresh_row`` call per deadline."""
@@ -60,8 +63,17 @@ def record_timeline_bench(section, entry):
     JSON-serializable mapping.  Existing sections from other benchmarks
     are preserved so kernel and timeline runs share the file.
     """
+    _merge_bench(BENCH_TIMELINE_JSON, section, entry)
+
+
+def record_service_bench(section, entry):
+    """Merge one serving benchmark's numbers into ``BENCH_service.json``."""
+    _merge_bench(BENCH_SERVICE_JSON, section, entry)
+
+
+def _merge_bench(path, section, entry):
     data = {}
-    if BENCH_TIMELINE_JSON.is_file():
-        data = json.loads(BENCH_TIMELINE_JSON.read_text())
+    if path.is_file():
+        data = json.loads(path.read_text())
     data[section] = entry
-    BENCH_TIMELINE_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

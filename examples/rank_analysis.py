@@ -26,6 +26,7 @@ from repro import (
     build_policy,
 )
 from repro.experiments import run_rank_comparison
+from repro.service import LocalClient
 from repro.sim import predict_vrl_access_cycles, predicted_full_fraction, window_coverage
 from repro.technology import BankGeometry
 from repro.workloads import PARSEC_WORKLOADS, TraceGenerator
@@ -33,9 +34,14 @@ from repro.workloads import PARSEC_WORKLOADS, TraceGenerator
 
 def rank_view() -> None:
     print("== 8-bank rank: refresh mode comparison ==")
-    result = run_rank_comparison(
-        geometry=BankGeometry(512, 32), n_banks=8, duration_seconds=0.3
-    )
+    # The sweep drivers execute through a service client; sharing one
+    # across several studies shares its cache, batcher, and worker pool
+    # (a RemoteClient pointed at `vrl-dram serve` works identically).
+    with LocalClient() as client:
+        result = run_rank_comparison(
+            geometry=BankGeometry(512, 32), n_banks=8, duration_seconds=0.3,
+            client=client,
+        )
     print(result.format())
     print()
 

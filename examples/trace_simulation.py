@@ -6,21 +6,26 @@ server-style workload (``bgsave``) to show what the refresh overhead
 means for demand requests: queueing behind refreshes, row-buffer
 interference, and the refresh-power comparison the paper quotes.
 
+The four policy runs are submitted as one block of typed queries to the
+in-process simulation service (`repro.service`): the batcher fuses them
+into a single runner invocation (sharing the memoized trace and
+retention profile across policies), and a re-run answers every query
+from the content-addressed cache.
+
 Run:  python examples/trace_simulation.py [--duration 0.25]
 """
 
 import argparse
 
 from repro import (
-    BankSimulator,
     DEFAULT_TECH,
     DRAMTiming,
-    RefreshBinning,
     RefreshLatencyModel,
     RefreshPowerModel,
-    RetentionProfiler,
-    build_policy,
 )
+from repro.service import LocalService, Query
+from repro.sim.stats import RefreshStats, RequestStats
+from repro.technology import DEFAULT_GEOMETRY
 from repro.workloads import PARSEC_WORKLOADS, TraceGenerator
 
 POLICIES = ("fixed", "raidr", "vrl", "vrl-access")
@@ -32,37 +37,50 @@ def main() -> None:
                         help="seconds of simulated time (cycle-level; keep modest)")
     parser.add_argument("--benchmark", default="bgsave",
                         choices=sorted(PARSEC_WORKLOADS))
+    parser.add_argument("--seed", type=int, default=2018)
     args = parser.parse_args()
 
     tech = DEFAULT_TECH
     timing = DRAMTiming.from_technology(tech)
-    profile = RetentionProfiler().profile()
-    binning = RefreshBinning().assign(profile)
     model = RefreshLatencyModel(tech)
     power = RefreshPowerModel(tech)
     full, partial = model.full_refresh(), model.partial_refresh()
 
-    trace = TraceGenerator(PARSEC_WORKLOADS[args.benchmark], timing).generate(args.duration)
-    duration_cycles = timing.cycles(args.duration)
+    trace = TraceGenerator(
+        PARSEC_WORKLOADS[args.benchmark], timing, DEFAULT_GEOMETRY, args.seed
+    ).generate(args.duration)
     print(f"workload: {args.benchmark}  ({len(trace)} requests over "
           f"{1e3 * args.duration:.0f} ms, {trace.footprint_rows()} rows touched)\n")
+
+    queries = [
+        Query(
+            kind="engine-run",
+            tech=tech,
+            rows=DEFAULT_GEOMETRY.rows,
+            cols=DEFAULT_GEOMETRY.cols,
+            policy=name,
+            benchmark=args.benchmark,
+            seed=args.seed,
+            duration_seconds=args.duration,
+        )
+        for name in POLICIES
+    ]
 
     header = (f"{'policy':<12} {'refreshes':>9} {'partial%':>8} {'ovh%':>6} "
               f"{'mean lat':>8} {'hit%':>5} {'stall cy':>9} {'ref power':>10}")
     print(header)
     print("-" * len(header))
-    for name in POLICIES:
-        policy = build_policy(name, tech, profile, binning)
-        sim = BankSimulator(policy, timing)
-        result = sim.run(trace=trace, duration_cycles=duration_cycles)
-        r, q = result.refresh, result.requests
-        watts = power.refresh_power(r, full, partial)
-        print(
-            f"{name:<12} {r.total_refreshes:>9} {100 * r.partial_fraction:>7.1f}% "
-            f"{100 * r.overhead:>5.2f}% {q.mean_latency_cycles:>8.2f} "
-            f"{100 * q.row_hit_rate:>4.1f}% {q.refresh_stall_cycles:>9} "
-            f"{1e6 * watts:>8.2f}uW"
-        )
+    with LocalService() as service:
+        for name, result in zip(POLICIES, service.submit(queries)):
+            r = RefreshStats(**result.payload["refresh"])
+            q = RequestStats(**result.payload["requests"])
+            watts = power.refresh_power(r, full, partial)
+            print(
+                f"{name:<12} {r.total_refreshes:>9} {100 * r.partial_fraction:>7.1f}% "
+                f"{100 * r.overhead:>5.2f}% {q.mean_latency_cycles:>8.2f} "
+                f"{100 * q.row_hit_rate:>4.1f}% {q.refresh_stall_cycles:>9} "
+                f"{1e6 * watts:>8.2f}uW"
+            )
 
 
 if __name__ == "__main__":

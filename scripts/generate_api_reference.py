@@ -25,6 +25,8 @@ PACKAGES = [
     "repro.workloads",
     "repro.power",
     "repro.area",
+    "repro.runner",
+    "repro.service",
     "repro.experiments",
 ]
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..retention import RetentionProfiler
-from ..runner import Cell, ExperimentRunner, tech_params
+from ..runner import ExperimentRunner
+from ..service import Query, driver_client
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
 from .result import ExperimentResult
 
@@ -36,6 +37,7 @@ def run_baseline_comparison(
     benchmark: Optional[str] = "canneal",
     seed: int = RetentionProfiler.DEFAULT_SEED,
     runner: Optional[ExperimentRunner] = None,
+    client=None,
 ) -> ExperimentResult:
     """Compare six refresh mechanisms on one workload.
 
@@ -46,27 +48,26 @@ def run_baseline_comparison(
         benchmark: workload name for the access-aware policies; ``None``
             runs refresh-only.
         seed: profiling / trace seed.
-        runner: experiment executor; defaults to a serial, uncached one.
+        runner: experiment executor to wrap in a transient in-process
+            service; defaults to a serial, uncached one.
+        client: service client (local or remote) to sweep through
+            instead; results are bit-identical either way.
     """
-    runner = runner or ExperimentRunner()
-    tech_dict = tech_params(tech)
-    cells = [
-        Cell(
-            "baseline-mechanism",
-            {
-                "tech": tech_dict,
-                "rows": geometry.rows,
-                "cols": geometry.cols,
-                "mechanism": mechanism,
-                "benchmark": benchmark,
-                "seed": seed,
-                "duration_seconds": duration_seconds,
-            },
-            label=f"baseline/{mechanism}",
+    queries = [
+        Query(
+            kind="baseline-mechanism",
+            tech=tech,
+            rows=geometry.rows,
+            cols=geometry.cols,
+            mechanism=mechanism,
+            benchmark=benchmark,
+            seed=seed,
+            duration_seconds=duration_seconds,
         )
         for mechanism in BASELINE_MECHANISMS
     ]
-    report = runner.run(cells, experiment="baselines")
+    with driver_client(client, runner) as service:
+        report = service.sweep(queries, experiment="baselines")
 
     descriptions = {
         "fixed-64ms": "conventional JEDEC 1x",

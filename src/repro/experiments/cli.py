@@ -6,14 +6,26 @@ Examples::
     vrl-dram fig4 --jobs 4              # fan sweep cells across 4 workers
     vrl-dram table1 --no-spice
     vrl-dram all --jobs 0 --no-cache    # one worker per CPU, recompute all
+    vrl-dram serve --jobs 4 --port 7718 # long-lived simulation service
+    vrl-dram fig4 --connect :7718       # run the sweep through the service
 
-The sweep experiments (``fig4``, ``performance``, ``rank``,
-``baselines``, ``temperature``) run through :mod:`repro.runner`: their
-cells are cached on disk keyed by the full parameter set (see
-``--cache-dir``), fanned out over ``--jobs`` worker processes, and each
-run writes an observability manifest to ``--runs-dir``.  A warm re-run
-only recomputes cells whose parameters (or the package version)
-changed.
+Every experiment dispatches through the service layer
+(:mod:`repro.service`): the sweep verbs (``fig4``, ``performance``,
+``rank``, ``baselines``, ``temperature``) submit typed queries to a
+client — by default an in-process one built from ``--jobs`` /
+``--cache-dir`` / ``--no-cache``, or, with ``--connect host:port``, a
+running ``vrl-dram serve`` instance shared by many clients.  Results
+are bit-identical either way (invariant 13).  Cells are cached on disk
+keyed by the full parameter set (see ``--cache-dir``), fanned out over
+worker processes, and each sweep writes an observability manifest to
+``--runs-dir``.  A warm re-run only recomputes cells whose parameters
+(or the package/result-schema version) changed.
+
+``vrl-dram serve`` starts the asyncio server: it coalesces compatible
+in-flight queries from concurrent clients into single runner batches,
+answers repeats from the shared cache with single-flight dedup, and
+streams per-batch telemetry to subscribers.  SIGTERM drains in-flight
+cells and flushes the final ``service`` manifest before exit.
 
 Fault tolerance: a failing cell no longer aborts the sweep — it is
 retried ``--retries`` times (exponential backoff), reaped by a watchdog
@@ -36,31 +48,19 @@ import os
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Optional
 
 from ..runner import ExperimentRunner, ResultCache, latest_manifest, parse_faults
-
-from . import (
-    run_baseline_comparison,
-    run_bins_ablation,
-    run_fig1a,
-    run_geometry_ablation,
-    run_guard_ablation,
-    run_nbits_ablation,
-    run_performance_study,
-    run_sensitivity,
-    run_fig1b,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_latency_breakdown,
-    run_rank_comparison,
-    run_table1,
-    run_temperature_study,
-    run_validation,
-    run_table2,
+from ..service import (
+    LocalClient,
+    LocalService,
+    RemoteClient,
+    ServiceError,
+    experiment_names,
+    experiment_options,
+    run_experiment,
+    serve,
 )
-from .result import ExperimentResult
 
 #: Default directory for the per-run observability manifests.
 DEFAULT_RUNS_DIR = "runs"
@@ -91,53 +91,19 @@ def _runner_for(args: argparse.Namespace) -> ExperimentRunner:
     )
 
 
-def _experiments() -> dict[str, Callable[[argparse.Namespace], ExperimentResult]]:
-    """Dispatch table from experiment name to a driver closure.
+def _client_for(args: argparse.Namespace):
+    """The service client the experiment verbs sweep through.
 
-    The sweep drivers receive the runner built from ``--jobs`` /
-    ``--cache-dir`` / ``--no-cache`` (one runner per ``main`` call, so
-    ``vrl-dram all`` shares its worker pool, per-process trace builds,
-    and cache across experiments).
+    ``--connect host:port`` talks to a running ``vrl-dram serve``;
+    otherwise an in-process client wraps the runner built from
+    ``--jobs`` / ``--cache-dir`` / ``--no-cache`` (one client per
+    ``main`` call, so ``vrl-dram all`` shares its worker pool,
+    per-process trace builds, cache, and batcher across experiments).
     """
-    return {
-        "fig1a": lambda a: run_fig1a(with_spice=a.spice),
-        "fig1b": lambda a: run_fig1b(),
-        "fig3": lambda a: run_fig3(seed=a.seed),
-        "sec31": lambda a: run_latency_breakdown(seed=a.seed),
-        "fig4": lambda a: run_fig4(
-            duration_seconds=a.duration,
-            benchmarks=a.benchmarks or None,
-            nbits=a.nbits,
-            seed=a.seed,
-            runner=getattr(a, "runner", None),
-        ),
-        "fig5": lambda a: run_fig5(),
-        "table1": lambda a: run_table1(with_spice=a.spice),
-        "table2": lambda a: run_table2(),
-        "ablation-nbits": lambda a: run_nbits_ablation(seed=a.seed),
-        "ablation-guard": lambda a: run_guard_ablation(seed=a.seed),
-        "ablation-geometry": lambda a: run_geometry_ablation(),
-        "ablation-bins": lambda a: run_bins_ablation(seed=a.seed),
-        "sensitivity": lambda a: run_sensitivity(),
-        "rank": lambda a: run_rank_comparison(
-            seed=a.seed, runner=getattr(a, "runner", None)
-        ),
-        "validate": lambda a: run_validation(),
-        "baselines": lambda a: run_baseline_comparison(
-            duration_seconds=a.duration,
-            seed=a.seed,
-            runner=getattr(a, "runner", None),
-        ),
-        "temperature": lambda a: run_temperature_study(
-            seed=a.seed, runner=getattr(a, "runner", None)
-        ),
-        "performance": lambda a: run_performance_study(
-            duration_seconds=min(a.duration, 0.5),
-            benchmarks=a.benchmarks or None,
-            seed=a.seed,
-            runner=getattr(a, "runner", None),
-        ),
-    }
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        return RemoteClient(host or "127.0.0.1", int(port))
+    return LocalClient(runner=_runner_for(args))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,8 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_experiments()) + ["all"],
-        help="which paper artifact to regenerate",
+        choices=sorted(experiment_names()) + ["all", "serve"],
+        help="which paper artifact to regenerate (or 'serve' to start "
+        "the simulation service)",
     )
     parser.add_argument("--duration", type=float, default=1.0, help="fig4: seconds of simulated time")
     parser.add_argument(
@@ -224,6 +191,40 @@ def build_parser() -> argparse.ArgumentParser:
         "cell '*' striking every cell; actions: raise, hang, kill, interrupt, "
         "nan, diverge, jitfail; also via $VRL_DRAM_FAULTS)",
     )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="run the sweep verbs through a running 'vrl-dram serve' "
+        "instead of in-process (host defaults to 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve: TCP port (0 picks a free one, printed in the banner)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="serve: linger this long after a query arrives so concurrent "
+        "clients coalesce into one batch (0 = batch only what is queued)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="serve: seconds a SIGTERM drain may spend finishing in-flight "
+        "cells before queued queries are failed instead",
+    )
     parser.set_defaults(spice=True)
     return parser
 
@@ -243,11 +244,36 @@ def _validate_args(args: argparse.Namespace) -> Optional[str]:
             parse_faults(args.chaos)
         except ValueError as exc:
             return f"--chaos: {exc}"
+    if args.connect is not None:
+        if args.experiment == "serve":
+            return "--connect cannot be combined with the serve verb"
+        _, _, port = args.connect.rpartition(":")
+        if not port.isdigit():
+            return f"--connect expects HOST:PORT, got {args.connect!r}"
+    if args.batch_window < 0:
+        return f"--batch-window must be >= 0, got {args.batch_window:g}"
+    if args.drain_timeout <= 0:
+        return f"--drain-timeout must be > 0 seconds, got {args.drain_timeout:g}"
     return None
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """The ``vrl-dram serve`` verb: run the service until SIGTERM."""
+    service = LocalService(
+        runner=_runner_for(args),
+        batch_window=args.batch_window,
+        manifest_on_close=True,
+    )
+    return serve(
+        service,
+        host=args.host,
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Run one (or all) experiments and print the result tables."""
+    """Run one (or all) experiments — or the service — from the CLI."""
     args = build_parser().parse_args(argv)
     problem = _validate_args(args)
     if problem is not None:
@@ -255,13 +281,21 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if not args.runs_dir:
         args.runs_dir = None
-    args.runner = _runner_for(args)
-    table = _experiments()
-    names = sorted(table) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "serve":
+        return _serve(args)
+    try:
+        client = _client_for(args)
+    except (ServiceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    options = experiment_options(vars(args))
+    names = (
+        sorted(experiment_names()) if args.experiment == "all" else [args.experiment]
+    )
     try:
         for name in names:
             t0 = time.perf_counter()
-            result = table[name](args)
+            result = run_experiment(name, client=client, **options)
             elapsed = time.perf_counter() - t0
             print(result.format())
             print(f"[{name} completed in {elapsed:.1f}s]\n")
@@ -269,6 +303,9 @@ def main(argv: list[str] | None = None) -> int:
                 directory = Path(args.csv)
                 directory.mkdir(parents=True, exist_ok=True)
                 result.to_csv(directory / f"{name}.csv")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         hint = ""
         if args.runs_dir is not None:
@@ -278,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
                 pass
         print(f"\ninterrupted{hint}", file=sys.stderr)
         return 130
+    finally:
+        client.close()
     return 0
 
 

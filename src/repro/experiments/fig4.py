@@ -18,7 +18,8 @@ import numpy as np
 from ..model import RefreshLatencyModel
 from ..power import RefreshPowerModel
 from ..retention import RetentionProfiler
-from ..runner import Cell, ExperimentRunner, tech_params
+from ..runner import ExperimentRunner
+from ..service import Query, driver_client
 from ..sim.stats import RefreshStats
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
 from ..workloads import PARSEC_WORKLOADS
@@ -37,6 +38,7 @@ def run_fig4(
     seed: int = RetentionProfiler.DEFAULT_SEED,
     include_power: bool = True,
     runner: Optional[ExperimentRunner] = None,
+    client=None,
 ) -> ExperimentResult:
     """Run the full benchmark suite under the three policies.
 
@@ -49,10 +51,12 @@ def run_fig4(
         nbits: VRL counter width.
         seed: retention-profiling / trace-generation seed.
         include_power: also compute the refresh power ratio.
-        runner: experiment executor; defaults to a serial, uncached one
-            (results are identical for any runner configuration).
+        runner: experiment executor to wrap in a transient in-process
+            service; defaults to a serial, uncached one (results are
+            identical for any runner configuration).
+        client: service client (local or remote) to sweep through
+            instead; results are bit-identical either way.
     """
-    runner = runner or ExperimentRunner()
     names = list(benchmarks) if benchmarks else list(PARSEC_WORKLOADS)
     for name in names:
         if name not in PARSEC_WORKLOADS:
@@ -60,26 +64,23 @@ def run_fig4(
                 f"unknown workload {name!r}; available: {list(PARSEC_WORKLOADS)}"
             )
 
-    tech_dict = tech_params(tech)
     grid = [(policy, bench) for policy in FIG4_POLICIES for bench in names]
-    cells = [
-        Cell(
-            "refresh-overhead",
-            {
-                "tech": tech_dict,
-                "rows": geometry.rows,
-                "cols": geometry.cols,
-                "policy": policy,
-                "nbits": nbits,
-                "benchmark": bench,
-                "seed": seed,
-                "duration_seconds": duration_seconds,
-            },
-            label=f"{policy}/{bench}",
+    queries = [
+        Query(
+            kind="refresh-overhead",
+            tech=tech,
+            rows=geometry.rows,
+            cols=geometry.cols,
+            policy=policy,
+            nbits=nbits,
+            benchmark=bench,
+            seed=seed,
+            duration_seconds=duration_seconds,
         )
         for policy, bench in grid
     ]
-    report = runner.run(cells, experiment="fig4")
+    with driver_client(client, runner) as service:
+        report = service.sweep(queries, experiment="fig4")
     stats = {
         pair: RefreshStats(**payload)
         for pair, payload in zip(grid, report.results)

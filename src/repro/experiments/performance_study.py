@@ -17,7 +17,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..retention import RetentionProfiler
-from ..runner import Cell, ExperimentRunner, tech_params
+from ..runner import ExperimentRunner
+from ..service import Query, driver_client
 from ..sim.stats import RefreshStats, RequestStats
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
 from ..workloads import PARSEC_WORKLOADS
@@ -38,6 +39,7 @@ def run_performance_study(
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = RetentionProfiler.DEFAULT_SEED,
     runner: Optional[ExperimentRunner] = None,
+    client=None,
 ) -> ExperimentResult:
     """Cycle-level request-latency comparison across refresh policies.
 
@@ -47,9 +49,11 @@ def run_performance_study(
         duration_seconds: simulated time per (benchmark, policy) pair.
         benchmarks: benchmark names; defaults to a four-workload subset.
         seed: profiling / trace seed.
-        runner: experiment executor; defaults to a serial, uncached one.
+        runner: experiment executor to wrap in a transient in-process
+            service; defaults to a serial, uncached one.
+        client: service client (local or remote) to sweep through
+            instead; results are bit-identical either way.
     """
-    runner = runner or ExperimentRunner()
     names = list(benchmarks) if benchmarks else list(DEFAULT_BENCHMARKS)
     for name in names:
         if name not in PARSEC_WORKLOADS:
@@ -57,26 +61,23 @@ def run_performance_study(
                 f"unknown workload {name!r}; available: {list(PARSEC_WORKLOADS)}"
             )
 
-    tech_dict = tech_params(tech)
     grid = [(bench, policy) for bench in names for policy in PERF_POLICIES]
-    cells = [
-        Cell(
-            "engine-run",
-            {
-                "tech": tech_dict,
-                "rows": geometry.rows,
-                "cols": geometry.cols,
-                "policy": policy,
-                "nbits": 2,
-                "benchmark": bench,
-                "seed": seed,
-                "duration_seconds": duration_seconds,
-            },
-            label=f"{policy}/{bench}",
+    queries = [
+        Query(
+            kind="engine-run",
+            tech=tech,
+            rows=geometry.rows,
+            cols=geometry.cols,
+            policy=policy,
+            nbits=2,
+            benchmark=bench,
+            seed=seed,
+            duration_seconds=duration_seconds,
         )
         for bench, policy in grid
     ]
-    report = runner.run(cells, experiment="performance")
+    with driver_client(client, runner) as service:
+        report = service.sweep(queries, experiment="performance")
     outcomes = {
         pair: (RefreshStats(**payload["refresh"]), RequestStats(**payload["requests"]))
         for pair, payload in zip(grid, report.results)

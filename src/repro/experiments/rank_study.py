@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..retention import RetentionProfiler
-from ..runner import Cell, ExperimentRunner, tech_params
+from ..runner import ExperimentRunner
+from ..service import Query, driver_client
 from ..technology import DEFAULT_TECH, BankGeometry, TechnologyParams
 from .result import ExperimentResult
 
@@ -34,6 +35,7 @@ def run_rank_comparison(
     duration_seconds: float = 0.5,
     seed: int = RetentionProfiler.DEFAULT_SEED,
     runner: Optional[ExperimentRunner] = None,
+    client=None,
 ) -> ExperimentResult:
     """Compare refresh modes at rank granularity.
 
@@ -45,27 +47,26 @@ def run_rank_comparison(
         n_banks: banks per rank (DDR3: 8).
         duration_seconds: simulated horizon.
         seed: base profiling seed (each bank gets its own profile).
-        runner: experiment executor; defaults to a serial, uncached one.
+        runner: experiment executor to wrap in a transient in-process
+            service; defaults to a serial, uncached one.
+        client: service client (local or remote) to sweep through
+            instead; results are bit-identical either way.
     """
-    runner = runner or ExperimentRunner()
-    tech_dict = tech_params(tech)
-    cells = [
-        Cell(
-            "rank-mode",
-            {
-                "tech": tech_dict,
-                "rows": geometry.rows,
-                "cols": geometry.cols,
-                "n_banks": n_banks,
-                "mode": mode,
-                "seed": seed,
-                "duration_seconds": duration_seconds,
-            },
-            label=f"rank/{mode}",
+    queries = [
+        Query(
+            kind="rank-mode",
+            tech=tech,
+            rows=geometry.rows,
+            cols=geometry.cols,
+            n_banks=n_banks,
+            mode=mode,
+            seed=seed,
+            duration_seconds=duration_seconds,
         )
         for mode in RANK_MODES
     ]
-    report = runner.run(cells, experiment="rank")
+    with driver_client(client, runner) as service:
+        report = service.sweep(queries, experiment="rank")
 
     rows = []
     baseline_cycles = None

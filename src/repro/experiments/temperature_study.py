@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..retention import RetentionProfiler
-from ..runner import Cell, ExperimentRunner, tech_params
+from ..runner import ExperimentRunner
+from ..service import Query, driver_client
 from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
 from .result import ExperimentResult
 
@@ -30,6 +31,7 @@ def run_temperature_study(
     temperatures: Sequence[float] = DEFAULT_TEMPERATURES,
     seed: int = RetentionProfiler.DEFAULT_SEED,
     runner: Optional[ExperimentRunner] = None,
+    client=None,
 ) -> ExperimentResult:
     """VRL deployment re-derived at each operating temperature.
 
@@ -39,25 +41,24 @@ def run_temperature_study(
         temperatures: operating points in degC (profiles are referenced
             at 45 degC).
         seed: profiling seed.
-        runner: experiment executor; defaults to a serial, uncached one.
+        runner: experiment executor to wrap in a transient in-process
+            service; defaults to a serial, uncached one.
+        client: service client (local or remote) to sweep through
+            instead; results are bit-identical either way.
     """
-    runner = runner or ExperimentRunner()
-    tech_dict = tech_params(tech)
-    cells = [
-        Cell(
-            "temperature-point",
-            {
-                "tech": tech_dict,
-                "rows": geometry.rows,
-                "cols": geometry.cols,
-                "temperature": float(temperature),
-                "seed": seed,
-            },
-            label=f"temp/{temperature:.0f}C",
+    queries = [
+        Query(
+            kind="temperature-point",
+            tech=tech,
+            rows=geometry.rows,
+            cols=geometry.cols,
+            temperature=float(temperature),
+            seed=seed,
         )
         for temperature in temperatures
     ]
-    report = runner.run(cells, experiment="temperature")
+    with driver_client(client, runner) as service:
+        report = service.sweep(queries, experiment="temperature")
 
     rows = []
     baseline_raidr = None

@@ -30,8 +30,23 @@ and one failing cell never aborts the sweep — it surfaces as a failed
 completes (asserted by ``tests/test_runner_faults.py``).
 """
 
-from .cache import CACHE_SCHEMA, ResultCache, cache_key, canonical_json
-from .cells import CELL_KINDS, Cell, compute_cell, shared_build_cache_info, tech_params
+from .cache import (
+    CACHE_SCHEMA,
+    DEFAULT_RESULT_SCHEMA,
+    ResultCache,
+    cache_key,
+    canonical_json,
+    register_result_schema,
+    result_schema,
+)
+from .cells import (
+    CELL_KINDS,
+    RESULT_SCHEMAS,
+    Cell,
+    compute_cell,
+    shared_build_cache_info,
+    tech_params,
+)
 from .errors import ERROR_KINDS, CellError
 from .executor import CellOutcome, ExperimentRunner, RunReport
 from .faults import (
@@ -57,6 +72,8 @@ from .manifest import (
 __all__ = [
     "CACHE_SCHEMA",
     "CELL_KINDS",
+    "DEFAULT_RESULT_SCHEMA",
+    "RESULT_SCHEMAS",
     "Cell",
     "CellError",
     "CellOutcome",
@@ -80,7 +97,9 @@ __all__ = [
     "load_checkpoint",
     "load_manifest",
     "parse_faults",
+    "register_result_schema",
     "resolve_resume_source",
+    "result_schema",
     "shared_build_cache_info",
     "tech_params",
     "write_manifest",

@@ -30,9 +30,33 @@ from .. import __version__
 #: Bumped when the on-disk entry layout changes (invalidates old caches).
 CACHE_SCHEMA = 1
 
+#: Fallback payload-layout version for kinds that never registered one.
+DEFAULT_RESULT_SCHEMA = 1
+
+#: Payload-layout version per cell kind (see :func:`register_result_schema`).
+_RESULT_SCHEMAS: dict[str, int] = {}
+
 #: Per-process tiebreaker so concurrent :meth:`ResultCache.put` calls in
 #: one thread (e.g. re-entrant signal handlers) still stage uniquely.
 _put_counter = itertools.count()
+
+
+def register_result_schema(kind: str, version: int) -> None:
+    """Declare the payload-layout version of one cell kind.
+
+    The version is folded into every :func:`cache_key` for that kind,
+    so bumping it when the kind's *result* shape changes (new fields,
+    renamed counters, changed units) invalidates exactly that kind's
+    cached entries — the stale-cache trap that opens once many clients
+    share one cache through the service layer.  Kinds register their
+    versions at import time in :mod:`repro.runner.cells`.
+    """
+    _RESULT_SCHEMAS[kind] = int(version)
+
+
+def result_schema(kind: str) -> int:
+    """The registered payload-layout version of ``kind`` (default 1)."""
+    return _RESULT_SCHEMAS.get(kind, DEFAULT_RESULT_SCHEMA)
 
 
 def canonical_json(value: Any) -> str:
@@ -42,7 +66,12 @@ def canonical_json(value: Any) -> str:
     )
 
 
-def cache_key(kind: str, params: Mapping[str, Any], version: str = __version__) -> str:
+def cache_key(
+    kind: str,
+    params: Mapping[str, Any],
+    version: str = __version__,
+    result_version: Optional[int] = None,
+) -> str:
     """The content address of one cell: sha256 over its recipe.
 
     Args:
@@ -50,9 +79,21 @@ def cache_key(kind: str, params: Mapping[str, Any], version: str = __version__) 
         params: every input of the computation, JSON primitives only.
         version: package version; part of the key so upgrading the code
             invalidates all cached numbers.
+        result_version: the kind's payload-layout version; defaults to
+            the registered one (:func:`result_schema`), so bumping a
+            kind's schema in :data:`repro.runner.cells.RESULT_SCHEMAS`
+            invalidates its cached entries without touching the others.
     """
+    if result_version is None:
+        result_version = result_schema(kind)
     recipe = canonical_json(
-        {"kind": kind, "params": params, "version": version, "schema": CACHE_SCHEMA}
+        {
+            "kind": kind,
+            "params": params,
+            "version": version,
+            "schema": CACHE_SCHEMA,
+            "result_schema": int(result_version),
+        }
     )
     return hashlib.sha256(recipe.encode()).hexdigest()
 

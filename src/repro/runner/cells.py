@@ -37,6 +37,7 @@ from ..sim import (
 from ..technology import BankGeometry, TechnologyParams
 from ..units import MS
 from ..workloads import PARSEC_WORKLOADS, TraceGenerator
+from .cache import register_result_schema
 
 
 @dataclass(frozen=True)
@@ -302,6 +303,22 @@ CELL_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
     "baseline-mechanism": _baseline_mechanism_cell,
     "temperature-point": _temperature_point_cell,
 }
+
+#: Payload-layout version per cell kind.  Bump a kind's entry whenever
+#: its compute function changes the *shape or meaning* of the returned
+#: payload (new fields, renamed counters, changed units) — the version
+#: is folded into every cache key for that kind, so stale cached
+#: payloads of the old layout are never served to new readers.
+RESULT_SCHEMAS: dict[str, int] = {
+    "refresh-overhead": 1,
+    "engine-run": 1,
+    "rank-mode": 1,
+    "baseline-mechanism": 1,
+    "temperature-point": 1,
+}
+
+for _kind, _schema in RESULT_SCHEMAS.items():
+    register_result_schema(_kind, _schema)
 
 
 def compute_cell(kind: str, params: Mapping[str, Any]) -> dict:

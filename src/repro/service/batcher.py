@@ -1,0 +1,337 @@
+"""Query coalescing: micro-batches + single-flight dedup.
+
+The batcher is the serving core shared by the in-process backend and
+the asyncio server.  Queries arrive from any number of threads /
+connections via :meth:`QueryBatcher.submit`, which returns one
+``concurrent.futures.Future`` per query.  A single dispatcher thread
+then drains the queue in **micro-batches**:
+
+1. every query submitted within ``batch_window`` seconds of the first
+   (and everything that piled up while the previous batch was
+   computing) is drained together;
+2. identical in-flight queries are **coalesced single-flight**: the
+   first occurrence of a cache key is computed, every other waiter —
+   same submit call, other clients, other connections — attaches to it
+   and receives a ``dedup_hit`` copy of the result;
+3. the unique queries are grouped by cell kind (compatible queries
+   share per-worker memoized traces/profiles and, for policy kinds,
+   one fused-timeline kernel dispatch per bank) and each group runs as
+   **one** :meth:`~repro.runner.executor.ExperimentRunner.run`
+   invocation — inheriting the runner's cache-first lookup, process
+   pool, retries, checkpointing, and manifest machinery unchanged;
+4. per-batch telemetry (cache hits, computed cells, manifest path,
+   aggregate :class:`~repro.service.schema.ServiceStats`) is pushed to
+   registered telemetry callbacks as the batch completes.
+
+Determinism: the runner guarantees payloads independent of ``jobs`` and
+cache state, and the batcher only *groups* cells (never reorders them
+within a submit call), so a query's payload is bit-identical whether it
+was served direct, batched, deduplicated, or from cache — invariant 13
+(``docs/architecture.md``).
+
+Shutdown: :meth:`close` with ``drain=True`` (the SIGTERM path of the
+server) stops accepting new queries, lets the dispatcher finish the
+in-flight batch **and** everything still queued — flushing each batch's
+checkpoint/manifest through the runner as usual — then joins the
+thread.  ``drain=False`` fails the queued futures immediately with a
+structured ``service-closed`` error instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..runner import ExperimentRunner
+from .schema import Query, QueryResult, ServiceStats
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when a query is submitted to a closed service."""
+
+
+@dataclass
+class _Pending:
+    """One queued unique query plus every future waiting on its key."""
+
+    query: Query
+    key: str
+    experiment: str
+    futures: list[Future] = field(default_factory=list)
+
+    def resolve(self, result: QueryResult) -> None:
+        """Deliver ``result`` to the primary future and dedup copies."""
+        for i, future in enumerate(self.futures):
+            if not future.set_running_or_notify_cancel():
+                continue  # pragma: no cover - cancelled waiter
+            future.set_result(result if i == 0 else result.as_dedup())
+
+
+class QueryBatcher:
+    """Single-dispatcher micro-batching front of an experiment runner.
+
+    Args:
+        runner: the (shared, cache-backed) executor every batch runs
+            through.
+        stats: counters to maintain (shared with the owning service).
+        batch_window: seconds the dispatcher lingers after the first
+            queued query to let concurrent clients coalesce.  ``0``
+            still batches everything already queued (e.g. one driver
+            sweep submitted as a block) without adding latency.
+        experiment_prefix: manifest label prefix for batch runs.
+    """
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        stats: Optional[ServiceStats] = None,
+        batch_window: float = 0.0,
+        experiment_prefix: str = "service",
+    ):
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        self.runner = runner
+        self.stats = stats if stats is not None else ServiceStats()
+        self.batch_window = batch_window
+        self.experiment_prefix = experiment_prefix
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: list[_Pending] = []
+        self._inflight: dict[str, _Pending] = {}
+        self._telemetry: list[Callable[[dict], None]] = []
+        self._closed = False
+        self._drain = True
+        self._batch_id = 0
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="vrl-dram-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ----------------------------------------------------------------- #
+    # Submission                                                         #
+    # ----------------------------------------------------------------- #
+
+    def submit(
+        self, queries: Sequence[Query], experiment: str = ""
+    ) -> list[Future]:
+        """Queue ``queries``; one future per query, in input order.
+
+        Identical queries (same cache key) — within this call or
+        against anything already queued or computing — share one
+        computation; the extra futures resolve with ``dedup_hit``
+        results.
+        """
+        futures: list[Future] = []
+        with self._wake:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            self.stats.queries += len(queries)
+            if queries:
+                self.stats.sweeps += 1
+            for query in queries:
+                future: Future = Future()
+                key = query.key()
+                pending = self._inflight.get(key)
+                if pending is not None:
+                    self.stats.dedup_hits += 1
+                    pending.futures.append(future)
+                else:
+                    pending = _Pending(query=query, key=key, experiment=experiment)
+                    pending.futures.append(future)
+                    self._inflight[key] = pending
+                    self._queue.append(pending)
+                futures.append(future)
+            self._wake.notify_all()
+        return futures
+
+    def add_telemetry(self, callback: Callable[[dict], None]) -> None:
+        """Register a per-batch telemetry callback (thread of dispatcher)."""
+        with self._lock:
+            self._telemetry.append(callback)
+
+    def remove_telemetry(self, callback: Callable[[dict], None]) -> None:
+        """Deregister a previously added telemetry callback (no-op if absent)."""
+        with self._lock:
+            if callback in self._telemetry:
+                self._telemetry.remove(callback)
+
+    # ----------------------------------------------------------------- #
+    # Dispatch                                                           #
+    # ----------------------------------------------------------------- #
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if self._closed and (not self._queue or not self._drain):
+                    for pending in self._queue:
+                        self._resolve_closed(pending)
+                        self._inflight.pop(pending.key, None)
+                    self._queue.clear()
+                    return
+            if self.batch_window > 0:
+                time.sleep(self.batch_window)
+            with self._lock:
+                drained = self._queue
+                self._queue = []
+            for group in self._plan(drained):
+                self._run_batch(group)
+
+    @staticmethod
+    def _plan(drained: Sequence[_Pending]) -> list[list[_Pending]]:
+        """Group the drained queries into compatible batches.
+
+        Compatibility = same cell kind: those cells share memoized
+        traces/profiles per worker and the same compute function, so
+        they fuse into one runner invocation.  Submission order is
+        preserved within each group (fault plans and resume checkpoints
+        index computed cells by that order).
+        """
+        groups: dict[str, list[_Pending]] = {}
+        for pending in drained:
+            groups.setdefault(pending.query.kind, []).append(pending)
+        return list(groups.values())
+
+    def _run_batch(self, group: list[_Pending]) -> None:
+        with self._lock:
+            self._batch_id += 1
+            batch_id = self._batch_id
+        kind = group[0].query.kind
+        experiments = sorted(
+            {p.experiment for p in group if p.experiment}
+        )
+        # A batch drawn from a single sweep keeps that sweep's manifest
+        # name (drivers and their tests read runs/<ts>.json by verb); only
+        # batches fusing several clients' sweeps get the service label.
+        if len(experiments) == 1:
+            label = experiments[0]
+        else:
+            label = f"{self.experiment_prefix}:{kind}"
+        cells = [p.query.to_cell() for p in group]
+        t0 = time.perf_counter()
+        try:
+            report = self.runner.run(cells, experiment=label)
+        except BaseException as exc:  # runner invariant: only interrupts
+            for pending in group:
+                self._finish(
+                    pending,
+                    QueryResult(
+                        key=pending.key,
+                        label=pending.query.label,
+                        kind=kind,
+                        batch=batch_id,
+                        error={
+                            "kind": "service-error",
+                            "exception_type": type(exc).__name__,
+                            "message": str(exc),
+                        },
+                    ),
+                )
+            return
+        elapsed = time.perf_counter() - t0
+        manifest = str(report.manifest_path) if report.manifest_path else ""
+        hits = computed = failed = 0
+        results: list[QueryResult] = []
+        for outcome in report.outcomes:
+            results.append(
+                QueryResult(
+                    key=outcome.key,
+                    label=outcome.label,
+                    kind=outcome.kind,
+                    payload=outcome.payload,
+                    cache_hit=outcome.cache_hit,
+                    wall_seconds=outcome.wall_seconds,
+                    worker=outcome.worker,
+                    batch=batch_id,
+                    manifest=manifest,
+                    error=outcome.error.to_dict() if outcome.error else None,
+                )
+            )
+            if not outcome.ok:
+                failed += 1
+            elif outcome.cache_hit:
+                hits += 1
+            else:
+                computed += 1
+        # Counters are committed *before* any waiter is woken, so a
+        # client that reads stats right after its sweep resolves sees
+        # this batch accounted for.
+        with self._lock:
+            self.stats.record_batch(len(group))
+            self.stats.cache_hits += hits
+            self.stats.computed += computed
+            self.stats.failed += failed
+            self.stats.busy_seconds += elapsed
+            callbacks = list(self._telemetry)
+            snapshot = self.stats.snapshot()
+        for pending, result in zip(group, results):
+            self._finish(pending, result)
+        record = {
+            "event": "batch",
+            "batch": batch_id,
+            "kind": kind,
+            "experiments": experiments,
+            "size": len(group),
+            "cache_hits": hits,
+            "computed": computed,
+            "failed": failed,
+            "wall_seconds": round(elapsed, 6),
+            "manifest": (
+                str(report.manifest_path) if report.manifest_path else None
+            ),
+            "stats": snapshot,
+        }
+        for callback in callbacks:
+            try:
+                callback(record)
+            except Exception:  # pragma: no cover - telemetry must not kill serving
+                pass
+
+    def _finish(self, pending: _Pending, result: QueryResult) -> None:
+        """Resolve a pending query and retire its single-flight slot."""
+        with self._lock:
+            current = self._inflight.get(pending.key)
+            if current is pending:
+                del self._inflight[pending.key]
+        pending.resolve(result)
+
+    def _resolve_closed(self, pending: _Pending) -> None:
+        pending.resolve(
+            QueryResult(
+                key=pending.key,
+                label=pending.query.label,
+                kind=pending.query.kind,
+                error={
+                    "kind": "service-closed",
+                    "message": "service shut down before the query ran",
+                },
+            )
+        )
+
+    # ----------------------------------------------------------------- #
+    # Shutdown                                                           #
+    # ----------------------------------------------------------------- #
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> bool:
+        """Stop the dispatcher; returns ``True`` if it exited in time.
+
+        ``drain=True`` finishes the in-flight batch and everything
+        queued (each batch still flushes its checkpoint/manifest);
+        ``drain=False`` fails queued queries with ``service-closed``
+        results.  Idempotent.
+        """
+        with self._wake:
+            self._closed = True
+            self._drain = drain
+            self._wake.notify_all()
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (submissions now raise)."""
+        return self._closed

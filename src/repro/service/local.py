@@ -1,0 +1,145 @@
+"""In-process service backend (no socket needed).
+
+:class:`LocalService` owns the three serving primitives — a
+cache-backed :class:`~repro.runner.executor.ExperimentRunner`, the
+micro-batching / single-flight :class:`~repro.service.batcher.QueryBatcher`,
+and the shared :class:`~repro.service.schema.ServiceStats` counters —
+behind the same submit/stats/telemetry surface the asyncio server
+exposes over a socket.  The sweep drivers, the CLI verbs, and the
+examples all talk to one of these (directly via
+:class:`~repro.service.client.LocalClient`, or remotely via the
+server), so there is exactly one code path from "query" to "payload".
+
+Shutdown mirrors the server's SIGTERM semantics: :meth:`close` drains
+in-flight cells (each batch flushes its checkpoint/manifest through
+the runner) and then writes a final ``service`` manifest with the
+aggregate counters — so even an in-process service leaves the same
+audit trail a long-lived server does.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from ..runner import ExperimentRunner, ResultCache, write_manifest
+from .batcher import QueryBatcher, ServiceClosed
+from .schema import Query, QueryResult, ServiceStats
+
+
+class LocalService:
+    """The in-process simulation service.
+
+    Args:
+        runner: executor every batch runs through; defaults to a
+            serial, uncached one (bit-identical results either way).
+        cache: convenience — builds a default runner around this cache
+            when ``runner`` is not given.
+        runs_dir: convenience — manifest directory for the default
+            runner, and destination of the final ``service`` manifest.
+        jobs: worker processes for the default runner.
+        batch_window: seconds the batcher lingers to coalesce
+            concurrent clients (keep 0 for driver-style block sweeps).
+        manifest_on_close: write the final ``service`` counter manifest
+            on :meth:`close`.  On for long-lived servers; off by
+            default so transient driver-owned services don't shadow
+            their experiment manifests.
+    """
+
+    def __init__(
+        self,
+        runner: Optional[ExperimentRunner] = None,
+        cache: Optional[ResultCache] = None,
+        runs_dir: Optional[Union[str, Path]] = None,
+        jobs: int = 1,
+        batch_window: float = 0.0,
+        manifest_on_close: bool = False,
+    ):
+        if runner is None:
+            runner = ExperimentRunner(jobs=jobs, cache=cache, runs_dir=runs_dir)
+        self.runner = runner
+        self.stats = ServiceStats()
+        self.batcher = QueryBatcher(
+            runner, stats=self.stats, batch_window=batch_window
+        )
+        self.manifest_on_close = manifest_on_close
+        self._closed = False
+
+    # ----------------------------------------------------------------- #
+    # Query surface                                                      #
+    # ----------------------------------------------------------------- #
+
+    def submit_futures(
+        self, queries: Sequence[Query], experiment: str = ""
+    ) -> list[Future]:
+        """Queue queries; a future per query resolving to a
+        :class:`~repro.service.schema.QueryResult`."""
+        return self.batcher.submit(queries, experiment=experiment)
+
+    def submit(
+        self, queries: Sequence[Query], experiment: str = ""
+    ) -> list[QueryResult]:
+        """Serve queries synchronously, results in input order."""
+        return [f.result() for f in self.submit_futures(queries, experiment)]
+
+    def query(self, query: Query) -> QueryResult:
+        """Serve one query synchronously."""
+        return self.submit([query])[0]
+
+    def snapshot(self) -> dict:
+        """Current counters (see :class:`ServiceStats`)."""
+        return self.stats.snapshot()
+
+    def add_telemetry(self, callback: Callable[[dict], None]) -> None:
+        """Register a per-batch telemetry callback."""
+        self.batcher.add_telemetry(callback)
+
+    def remove_telemetry(self, callback: Callable[[dict], None]) -> None:
+        """Deregister a previously added telemetry callback."""
+        self.batcher.remove_telemetry(callback)
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle                                                          #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (submissions now raise)."""
+        return self._closed
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> dict:
+        """Shut the service down; returns the final counter snapshot.
+
+        ``drain=True`` (the SIGTERM path) finishes in-flight and queued
+        cells — every batch flushes its checkpoint/manifest through the
+        runner — before the final ``service`` manifest is written;
+        ``drain=False`` fails queued queries immediately.  Idempotent.
+        """
+        if self._closed:
+            return self.snapshot()
+        self._closed = True
+        drained = self.batcher.close(drain=drain, timeout=timeout)
+        snapshot = self.snapshot()
+        if self.manifest_on_close and self.runner.runs_dir is not None:
+            try:
+                write_manifest(
+                    self.runner.runs_dir,
+                    {
+                        "experiment": "service",
+                        "status": "drained" if (drain and drained) else "closed",
+                        "service": snapshot,
+                    },
+                )
+            except OSError:  # pragma: no cover - unwritable runs dir
+                pass
+        return snapshot
+
+    def __enter__(self) -> "LocalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["LocalService", "ServiceClosed"]

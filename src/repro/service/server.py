@@ -1,0 +1,320 @@
+"""Asyncio simulation server: many clients, one shared model.
+
+``vrl-dram serve`` starts a long-lived :class:`ServiceServer` on a
+local TCP endpoint.  Any number of concurrent clients
+(:class:`~repro.service.client.RemoteClient`, or anything speaking the
+JSON-lines protocol below) submit typed queries; the server funnels
+them all into one shared :class:`~repro.service.local.LocalService`,
+whose batcher coalesces compatible in-flight queries into single
+runner invocations, answers repeats from the shared content-addressed
+cache with single-flight dedup, and streams results back to each
+client as they complete.
+
+Protocol (one JSON object per line, UTF-8):
+
+* ``{"op": "ping"}`` → ``{"event": "pong", "protocol": 1, "version":
+  ..., "jobs": N}``
+* ``{"op": "sweep", "queries": [...], "experiment": "fig4"}`` →
+  a stream of ``{"event": "result", "seq": i, "result": {...}}``
+  (completion order) closed by ``{"event": "sweep-done", "size": N,
+  "jobs": N, "stats": {...}}``
+* ``{"op": "stats"}`` → ``{"event": "stats", "stats": {...}}``
+* ``{"op": "subscribe"}`` → ``{"event": "subscribed"}`` then a
+  ``{"event": "telemetry", "batch": {...}}`` line per completed batch
+* ``{"op": "shutdown", "drain": true}`` → ``{"event":
+  "shutting-down"}``; the server then drains and exits.
+
+Malformed requests get ``{"event": "error", "message": ...}`` and the
+connection stays usable; a malformed *line* (unparseable JSON) closes
+the connection defensively.
+
+Graceful shutdown: SIGTERM and SIGINT both trigger the drain path —
+the listener stops accepting, the in-flight and queued cells finish
+through the shared pool executor (each batch flushing its
+checkpoint/manifest as usual), a final ``service`` manifest with the
+aggregate counters is written, and only then does the process exit.
+A drain that exceeds ``drain_timeout`` falls back to failing the
+still-queued queries with ``service-closed`` errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import socket as _socket
+from typing import Optional
+
+from .. import __version__
+from .batcher import ServiceClosed
+from .local import LocalService
+from .schema import SERVICE_PROTOCOL, Query
+
+
+class ServiceServer:
+    """The asyncio front of one :class:`LocalService`.
+
+    Args:
+        service: the backend to serve; defaults to a fresh serial,
+            manifest-writing one (pass your own to control cache /
+            jobs / batch window).
+        host / port: bind address (port ``0`` picks an ephemeral one,
+            republished via :attr:`port` and the startup banner).
+        drain_timeout: seconds the SIGTERM drain may spend finishing
+            in-flight and queued cells before queued queries are
+            failed instead.
+    """
+
+    def __init__(
+        self,
+        service: Optional[LocalService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float = 60.0,
+    ):
+        if service is None:
+            service = LocalService(manifest_on_close=True)
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.drain_timeout = drain_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._subscribers: set[asyncio.Queue] = set()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._finished = asyncio.Event()
+        self._shutting_down = False
+        self.service.add_telemetry(self._on_batch_telemetry)
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle                                                          #
+    # ----------------------------------------------------------------- #
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Serve until :meth:`shutdown` (or SIGTERM/SIGINT) completes."""
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(
+                        signum, lambda: asyncio.ensure_future(self.shutdown())
+                    )
+        await self._finished.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, drain the backend, close every connection.
+
+        This is the SIGTERM path: with ``drain=True`` the in-flight
+        batch and everything queued still complete through the shared
+        executor (checkpoints/manifests flushed per batch) before the
+        final ``service`` manifest is written.
+        """
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain the blocking backend off the event loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: self.service.close(
+                drain=drain, timeout=self.drain_timeout if drain else 0.0
+            ),
+        )
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._finished.set()
+
+    # ----------------------------------------------------------------- #
+    # Telemetry fan-out                                                  #
+    # ----------------------------------------------------------------- #
+
+    def _on_batch_telemetry(self, record: dict) -> None:
+        """Batcher-thread hook: fan a batch record to subscribers."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self._broadcast, record)
+
+    def _broadcast(self, record: dict) -> None:
+        for queue in list(self._subscribers):
+            queue.put_nowait({"event": "telemetry", "batch": record})
+
+    # ----------------------------------------------------------------- #
+    # Connection handling                                                #
+    # ----------------------------------------------------------------- #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        telemetry_queue: Optional[asyncio.Queue] = None
+        pump_task: Optional[asyncio.Task] = None
+
+        async def send(record: dict) -> None:
+            async with write_lock:
+                writer.write((json.dumps(record) + "\n").encode())
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError:
+                    await send({"event": "error", "message": "malformed JSON line"})
+                    break
+                if not isinstance(request, dict):
+                    await send({"event": "error", "message": "request must be an object"})
+                    continue
+                op = request.get("op")
+                if op == "ping":
+                    await send(
+                        {
+                            "event": "pong",
+                            "protocol": SERVICE_PROTOCOL,
+                            "version": __version__,
+                            "jobs": self.service.runner.jobs,
+                        }
+                    )
+                elif op == "stats":
+                    await send({"event": "stats", "stats": self.service.snapshot()})
+                elif op == "subscribe":
+                    if telemetry_queue is None:
+                        telemetry_queue = asyncio.Queue()
+                        self._subscribers.add(telemetry_queue)
+                        pump_task = asyncio.ensure_future(
+                            self._pump_telemetry(telemetry_queue, send)
+                        )
+                    await send({"event": "subscribed"})
+                elif op == "sweep":
+                    await self._handle_sweep(request, send)
+                elif op == "shutdown":
+                    await send({"event": "shutting-down"})
+                    asyncio.ensure_future(
+                        self.shutdown(drain=bool(request.get("drain", True)))
+                    )
+                else:
+                    await send(
+                        {"event": "error", "message": f"unknown op {op!r}"}
+                    )
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if telemetry_queue is not None:
+                self._subscribers.discard(telemetry_queue)
+            if pump_task is not None:
+                pump_task.cancel()
+            self._connections.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    @staticmethod
+    async def _pump_telemetry(queue: asyncio.Queue, send) -> None:
+        with contextlib.suppress(asyncio.CancelledError, ConnectionResetError):
+            while True:
+                record = await queue.get()
+                await send(record)
+
+    async def _handle_sweep(self, request: dict, send) -> None:
+        """Parse, submit, and stream one sweep request."""
+        try:
+            queries = [Query.from_dict(q) for q in request.get("queries", [])]
+        except (ValueError, TypeError) as exc:
+            await send({"event": "error", "message": f"bad query: {exc}"})
+            return
+        experiment = str(request.get("experiment", ""))
+        try:
+            futures = self.service.submit_futures(queries, experiment=experiment)
+        except ServiceClosed:
+            await send({"event": "error", "message": "service is shutting down"})
+            return
+        wrapped = [asyncio.wrap_future(f) for f in futures]
+        pending = {
+            asyncio.ensure_future(self._tag(seq, aw)) for seq, aw in enumerate(wrapped)
+        }
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                seq, result = task.result()
+                await send(
+                    {"event": "result", "seq": seq, "result": result.to_dict()}
+                )
+        await send(
+            {
+                "event": "sweep-done",
+                "size": len(queries),
+                "jobs": self.service.runner.jobs,
+                "experiment": experiment,
+                "stats": self.service.snapshot(),
+            }
+        )
+
+    @staticmethod
+    async def _tag(seq: int, awaitable):
+        return seq, await awaitable
+
+
+def serve(
+    service: Optional[LocalService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    drain_timeout: float = 60.0,
+    banner=print,
+) -> int:
+    """Blocking entry point of ``vrl-dram serve``.
+
+    Runs the server until SIGTERM/SIGINT drains it; returns a process
+    exit code.  ``banner`` receives the "serving on host:port" line
+    (scripts parse it for the ephemeral port).
+    """
+
+    async def _main() -> None:
+        server = ServiceServer(
+            service=service, host=host, port=port, drain_timeout=drain_timeout
+        )
+        await server.start()
+        if banner is not None:
+            banner(
+                f"vrl-dram service listening on {server.host}:{server.port} "
+                f"(protocol {SERVICE_PROTOCOL}, jobs={server.service.runner.jobs})",
+                flush=True,
+            )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 130
+    return 0
+
+
+def pick_free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (tests and launch scripts)."""
+    with _socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]

@@ -113,6 +113,58 @@ class TestCacheHitEqualsColdRun:
         assert "stale" not in report.results[0]
 
 
+class TestResultSchemaInKey:
+    """The per-kind payload-layout version is part of every cache key."""
+
+    def test_every_kind_has_a_registered_schema(self):
+        from repro.runner import CELL_KINDS, RESULT_SCHEMAS
+
+        assert set(RESULT_SCHEMAS) == set(CELL_KINDS)
+
+    def test_result_version_changes_key(self):
+        cell = _cell()
+        assert cache_key(cell.kind, cell.params, result_version=1) != cache_key(
+            cell.kind, cell.params, result_version=2
+        )
+
+    def test_default_is_the_registered_version(self):
+        from repro.runner import result_schema
+
+        cell = _cell()
+        assert cache_key(cell.kind, cell.params) == cache_key(
+            cell.kind, cell.params, result_version=result_schema(cell.kind)
+        )
+
+    def test_registered_bump_invalidates_cached_entry(self, tmp_path):
+        from repro.runner import register_result_schema, result_schema
+
+        cell = _cell()
+        cache = ResultCache(tmp_path)
+        assert ExperimentRunner(cache=cache).run([cell]).cache_misses == 1
+        assert ExperimentRunner(cache=cache).run([cell]).cache_hits == 1
+        old = result_schema(cell.kind)
+        register_result_schema(cell.kind, old + 1)
+        try:
+            report = ExperimentRunner(cache=cache).run([cell])
+            assert report.cache_misses == 1  # stale layout never served
+        finally:
+            register_result_schema(cell.kind, old)
+        assert ExperimentRunner(cache=cache).run([cell]).cache_hits == 1
+
+    def test_bump_leaves_other_kinds_untouched(self):
+        from repro.runner import register_result_schema, result_schema
+
+        cell = _cell()
+        other = "temperature-point"
+        before = cache_key(cell.kind, cell.params)
+        old = result_schema(other)
+        register_result_schema(other, old + 7)
+        try:
+            assert cache_key(cell.kind, cell.params) == before
+        finally:
+            register_result_schema(other, old)
+
+
 class TestCorruptionRecovery:
     @pytest.mark.parametrize(
         "garbage",

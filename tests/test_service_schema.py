@@ -1,0 +1,156 @@
+"""Query schema: validation, canonical keys, wire round-trips.
+
+The schema is the contract between every service backend and the
+drivers: a typed ``Query`` must (1) reject malformed requests loudly,
+(2) hash to exactly the cache key of the equivalent hand-built runner
+cell — one keyspace for drivers, clients, and warm caches — and
+(3) survive the JSON wire round-trip bit-for-bit.
+"""
+
+import pytest
+
+from repro.runner import Cell, cache_key, tech_params
+from repro.service import KIND_PARAMS, Query, QueryResult
+from repro.technology import DEFAULT_TECH
+
+TECH = tech_params(DEFAULT_TECH)
+
+
+def _query(**overrides):
+    base = dict(
+        kind="refresh-overhead",
+        tech=DEFAULT_TECH,
+        rows=64,
+        cols=8,
+        policy="vrl",
+        benchmark="canneal",
+        seed=11,
+        duration_seconds=0.2,
+    )
+    base.update(overrides)
+    return Query(**base)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            _query(kind="warp-drive")
+
+    def test_tech_params_normalized_to_dict(self):
+        assert dict(_query().tech) == TECH
+
+    def test_tech_must_be_mapping(self):
+        with pytest.raises(TypeError, match="tech must be"):
+            _query(tech="ddr3")
+
+    @pytest.mark.parametrize(
+        "kind, missing",
+        [
+            ("refresh-overhead", "policy"),
+            ("engine-run", "policy"),
+            ("rank-mode", "n_banks, mode"),
+            ("baseline-mechanism", "mechanism"),
+            ("temperature-point", "temperature"),
+        ],
+    )
+    def test_required_fields_enforced(self, kind, missing):
+        with pytest.raises(ValueError, match=missing.split(",")[0]):
+            Query(kind=kind, tech=DEFAULT_TECH, rows=64, cols=8)
+
+    def test_default_labels_match_driver_convention(self):
+        assert _query().label == "vrl/canneal"
+        assert _query(benchmark=None).label == "vrl/refresh-only"
+        rank = Query(kind="rank-mode", tech=DEFAULT_TECH, rows=64, cols=8,
+                     n_banks=4, mode="raidr")
+        assert rank.label == "rank/raidr"
+        temp = Query(kind="temperature-point", tech=DEFAULT_TECH, rows=64,
+                     cols=8, temperature=55.0)
+        assert temp.label == "temp/55C"
+
+
+class TestCanonicalKeys:
+    def test_key_equals_hand_built_cell_key(self):
+        query = _query()
+        params = {
+            "tech": TECH,
+            "rows": 64,
+            "cols": 8,
+            "policy": "vrl",
+            "nbits": 2,
+            "benchmark": "canneal",
+            "seed": 11,
+            "duration_seconds": 0.2,
+        }
+        assert query.key() == cache_key("refresh-overhead", params)
+
+    def test_params_cover_exactly_the_kind_table(self):
+        for kind in KIND_PARAMS:
+            query = Query(
+                kind=kind, tech=DEFAULT_TECH, rows=64, cols=8, policy="vrl",
+                benchmark=None, n_banks=4, mode="vrl", mechanism="raidr",
+                temperature=55.0,
+            )
+            assert tuple(query.params()) == KIND_PARAMS[kind]
+
+    def test_numeric_fields_canonicalized(self):
+        # A float-typed row count must key identically to the int form.
+        assert _query(rows=64.0).key() == _query(rows=64).key()
+        assert _query(seed=11.0).key() == _query(seed=11).key()
+
+    def test_any_field_change_changes_key(self):
+        base = _query().key()
+        for variant in (
+            _query(seed=12), _query(duration_seconds=0.3), _query(nbits=3),
+            _query(policy="raidr"), _query(benchmark=None), _query(rows=128),
+        ):
+            assert variant.key() != base
+
+    def test_label_does_not_affect_key(self):
+        assert _query(label="a").key() == _query(label="b").key()
+
+    def test_to_cell_round_trips_through_from_cell(self):
+        query = _query()
+        cell = query.to_cell()
+        assert isinstance(cell, Cell)
+        assert cell.label == query.label
+        lifted = Query.from_cell(cell)
+        assert lifted.key() == query.key()
+        assert lifted.params() == query.params()
+
+
+class TestWireRoundTrip:
+    def test_query_round_trip(self):
+        query = _query(label="pinned")
+        clone = Query.from_dict(query.to_dict())
+        assert clone == query
+        assert clone.key() == query.key()
+
+    def test_unknown_params_rejected(self):
+        record = _query().to_dict()
+        record["params"]["warp"] = 9
+        with pytest.raises(ValueError, match="unknown query parameters"):
+            Query.from_dict(record)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValueError, match="malformed query record"):
+            Query.from_dict({"kind": "refresh-overhead"})
+
+    def test_result_round_trip(self):
+        result = QueryResult(
+            key="k", label="x", kind="engine-run", payload={"a": 1},
+            cache_hit=True, wall_seconds=0.5, worker="w3", batch=2,
+        )
+        clone = QueryResult.from_dict(result.to_dict())
+        assert clone == result
+        assert clone.ok
+
+    def test_failed_result_not_ok(self):
+        failed = QueryResult(key="k", error={"kind": "exception"})
+        assert not failed.ok
+        assert QueryResult.from_dict(failed.to_dict()).error == failed.error
+
+    def test_as_dedup_marks_copy_only(self):
+        result = QueryResult(key="k", payload={"a": 1})
+        copy = result.as_dedup()
+        assert copy.dedup_hit and not result.dedup_hit
+        assert copy.payload == result.payload

@@ -1,0 +1,337 @@
+"""Asyncio service server: concurrency, coalescing, telemetry, shutdown.
+
+The server's contract: many concurrent clients funnel into one shared
+backend; identical queries compute once (single-flight + shared cache)
+no matter how many clients repeat them; compatible fresh queries
+coalesce into shared batches; telemetry streams to subscribers; and
+shutdown — the ``shutdown`` op or SIGTERM — drains in-flight cells and
+flushes the final ``service`` manifest before the process exits.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runner import ExperimentRunner, ResultCache, load_manifest
+from repro.service import (
+    LocalService,
+    Query,
+    RemoteClient,
+    ServiceError,
+    ServiceServer,
+)
+from repro.technology import DEFAULT_TECH
+
+REPEAT_TEMPS = (40.0, 50.0, 60.0)
+
+
+def _temp_query(temperature, seed=7):
+    return Query(kind="temperature-point", tech=DEFAULT_TECH, rows=48, cols=8,
+                 temperature=temperature, seed=seed)
+
+
+@contextlib.contextmanager
+def serve_in_thread(tmp_path, jobs=1, batch_window=0.0, cache=True):
+    """A live server on an ephemeral port, torn down on exit."""
+    runner = ExperimentRunner(
+        jobs=jobs,
+        cache=ResultCache(tmp_path / "cache") if cache else None,
+        runs_dir=tmp_path / "runs",
+    )
+    service = LocalService(
+        runner=runner, batch_window=batch_window, manifest_on_close=True
+    )
+    box, ready = {}, threading.Event()
+
+    def run():
+        async def main():
+            server = ServiceServer(service=service)
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            box["port"] = server.port
+            ready.set()
+            await server.serve_forever(install_signal_handlers=False)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=15), "server failed to start"
+    box["service"] = service
+    try:
+        yield box
+    finally:
+        if thread.is_alive():
+            with contextlib.suppress(Exception):
+                asyncio.run_coroutine_threadsafe(
+                    box["server"].shutdown(), box["loop"]
+                ).result(timeout=30)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server thread leaked"
+
+
+class TestProtocol:
+    def test_ping_handshake_carries_protocol_and_jobs(self, tmp_path):
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                assert client.jobs == 1
+
+    def test_unknown_op_is_an_error_event(self, tmp_path):
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                with pytest.raises(ServiceError, match="unknown op"):
+                    client.request({"op": "teleport"})
+                # the connection stays usable afterwards
+                assert client.stats()["queries"] == 0
+
+    def test_malformed_query_is_an_error_event(self, tmp_path):
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                with pytest.raises(ServiceError, match="bad query"):
+                    client.request(
+                        {"op": "sweep", "queries": [{"kind": "warp", "params": {}}]}
+                    )
+
+    def test_connect_to_dead_port_raises(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with pytest.raises(ServiceError, match="cannot connect"):
+            RemoteClient("127.0.0.1", dead_port, timeout=2)
+
+
+class TestSweeps:
+    def test_remote_sweep_streams_all_results_in_order(self, tmp_path):
+        temps = (65.0, 45.0, 55.0)
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                report = client.sweep([_temp_query(t) for t in temps])
+        assert [o.label for o in report.outcomes] == [
+            f"temp/{t:.0f}C" for t in temps
+        ]
+        assert all(o.ok for o in report.outcomes)
+        assert report.backend == "service"
+        assert "(via service)" in report.notes()["runner"]
+
+    def test_block_sweep_coalesces_into_one_batch(self, tmp_path):
+        temps = [30.0 + 5 * i for i in range(6)]
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                client.sweep([_temp_query(t) for t in temps])
+                stats = client.stats()
+        assert stats["queries"] == 6
+        assert stats["max_batch_size"] >= 6
+        assert stats["coalesced_batches"] >= 1
+
+    def test_sweep_repeat_served_from_shared_cache(self, tmp_path):
+        queries = [_temp_query(t) for t in REPEAT_TEMPS]
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as first:
+                cold = first.sweep(queries)
+            with RemoteClient("127.0.0.1", box["port"]) as second:
+                warm = second.sweep(queries)
+                stats = second.stats()
+        assert [o.payload for o in warm.outcomes] == [
+            o.payload for o in cold.outcomes
+        ]
+        assert stats["computed"] == len(REPEAT_TEMPS)
+        assert stats["cache_hits"] == len(REPEAT_TEMPS)
+
+
+class TestConcurrentClients:
+    N_CLIENTS = 16
+
+    def test_sixteen_concurrent_clients_mixed_repeats_and_fresh(self, tmp_path):
+        """≥16 clients at once: repeats collapse to one computation each.
+
+        Even clients all ask for the same three temperature points; odd
+        clients each bring one fresh point.  With single-flight dedup in
+        front of the shared cache, the number of *computed* cells must
+        equal the number of unique keys — everything else is served as
+        a cache or dedup hit — and every client still gets a complete,
+        correct sweep.
+        """
+        fresh = {i: 100.0 + i for i in range(self.N_CLIENTS) if i % 2}
+        unique = len(REPEAT_TEMPS) + len(fresh)
+        total = (self.N_CLIENTS // 2) * len(REPEAT_TEMPS) + len(fresh)
+        reports = [None] * self.N_CLIENTS
+        errors = []
+        with serve_in_thread(tmp_path, batch_window=0.05) as box:
+            port = box["port"]
+            barrier = threading.Barrier(self.N_CLIENTS)
+
+            def run_client(i):
+                temps = [fresh[i]] if i % 2 else list(REPEAT_TEMPS)
+                try:
+                    with RemoteClient("127.0.0.1", port) as client:
+                        barrier.wait(timeout=30)
+                        reports[i] = client.sweep(
+                            [_temp_query(t) for t in temps],
+                            experiment=f"client-{i}",
+                        )
+                except Exception as exc:  # pragma: no cover - fail loudly below
+                    errors.append((i, exc))
+
+            threads = [
+                threading.Thread(target=run_client, args=(i,))
+                for i in range(self.N_CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            stats = box["service"].snapshot()
+
+        assert not errors, f"clients failed: {errors}"
+        assert all(r is not None for r in reports)
+        for i, report in enumerate(reports):
+            assert all(o.ok for o in report.outcomes), f"client {i} lost results"
+
+        assert stats["queries"] == total
+        # Single-flight + shared cache: one computation per unique key.
+        assert stats["computed"] == unique
+        assert stats["cache_hits"] + stats["dedup_hits"] == total - unique
+        assert stats["failed"] == 0
+
+        # Every repeat client saw bit-identical payloads.
+        repeat_payloads = [
+            [o.payload for o in reports[i].outcomes]
+            for i in range(0, self.N_CLIENTS, 2)
+        ]
+        assert all(p == repeat_payloads[0] for p in repeat_payloads[1:])
+
+
+class TestTelemetry:
+    def test_subscriber_sees_batches_from_other_connections(self, tmp_path):
+        with serve_in_thread(tmp_path) as box:
+            watcher = RemoteClient("127.0.0.1", box["port"])
+            watcher.subscribe()
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                client.sweep([_temp_query(t) for t in REPEAT_TEMPS],
+                             experiment="observed")
+            event = watcher.next_event(timeout=15)
+            watcher.close()
+        assert event["event"] == "telemetry"
+        batch = event["batch"]
+        assert batch["size"] == len(REPEAT_TEMPS)
+        assert batch["computed"] == len(REPEAT_TEMPS)
+        assert batch["experiments"] == ["observed"]
+        assert batch["stats"]["queries"] == len(REPEAT_TEMPS)
+
+    def test_telemetry_interleaved_with_replies_is_buffered(self, tmp_path):
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                client.subscribe()
+                client.sweep([_temp_query(40.0)])
+                stats = client.stats()  # telemetry may arrive before this reply
+                event = client.next_event(timeout=15)
+        assert stats["queries"] == 1
+        assert event["event"] == "telemetry"
+
+
+class TestShutdown:
+    def test_shutdown_op_drains_and_writes_service_manifest(self, tmp_path):
+        with serve_in_thread(tmp_path) as box:
+            with RemoteClient("127.0.0.1", box["port"]) as client:
+                client.sweep([_temp_query(40.0)])
+                reply = client.shutdown_server(drain=True)
+            assert reply["event"] == "shutting-down"
+            deadline = time.monotonic() + 30
+            while not box["service"].closed and time.monotonic() < deadline:
+                time.sleep(0.05)
+        manifests = [
+            load_manifest(p) for p in sorted((tmp_path / "runs").glob("*.json"))
+        ]
+        service_manifests = [m for m in manifests if m["experiment"] == "service"]
+        assert len(service_manifests) == 1
+        assert service_manifests[0]["status"] == "drained"
+        assert service_manifests[0]["service"]["queries"] == 1
+
+    def test_new_connections_refused_after_shutdown(self, tmp_path):
+        with serve_in_thread(tmp_path) as box:
+            port = box["port"]
+            with RemoteClient("127.0.0.1", port) as client:
+                client.shutdown_server()
+            deadline = time.monotonic() + 30
+            while not box["service"].closed and time.monotonic() < deadline:
+                time.sleep(0.05)
+            with pytest.raises(ServiceError):
+                RemoteClient("127.0.0.1", port, timeout=2)
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_inflight_cells_and_flushes_manifest(self, tmp_path):
+        """The real process-level path: ``vrl-dram serve`` + SIGTERM.
+
+        The server must exit 0, having finished the sweep it served and
+        written both the sweep manifest and the final ``service``
+        counter manifest.
+        """
+        runs = tmp_path / "runs"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.cli", "serve",
+             "--jobs", "1", "--no-cache", "--runs-dir", str(runs)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=tmp_path,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner, banner
+            port = int(banner.rsplit(":", 1)[1].split()[0])
+            with RemoteClient("127.0.0.1", port, timeout=60) as client:
+                report = client.sweep(
+                    [_temp_query(t) for t in REPEAT_TEMPS], experiment="presig"
+                )
+            assert all(o.ok for o in report.outcomes)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=30)
+        manifests = [load_manifest(p) for p in sorted(runs.glob("*.json"))]
+        experiments = [m["experiment"] for m in manifests]
+        assert "presig" in experiments
+        final = [m for m in manifests if m["experiment"] == "service"]
+        assert len(final) == 1
+        assert final[0]["status"] == "drained"
+        assert final[0]["service"]["queries"] == len(REPEAT_TEMPS)
+
+
+def test_server_banner_and_json_lines_protocol(tmp_path):
+    """A raw socket speaking the documented line protocol works without
+    the RemoteClient wrapper (the protocol is the public contract)."""
+    with serve_in_thread(tmp_path) as box:
+        with socket.create_connection(("127.0.0.1", box["port"]), timeout=15) as raw:
+            rfile = raw.makefile("r")
+            raw.sendall(b'{"op": "ping"}\n')
+            pong = json.loads(rfile.readline())
+            assert pong["event"] == "pong"
+            assert pong["protocol"] == 1
+            query = _temp_query(40.0)
+            raw.sendall(
+                (json.dumps({"op": "sweep", "queries": [query.to_dict()]}) + "\n")
+                .encode()
+            )
+            result = json.loads(rfile.readline())
+            assert result["event"] == "result" and result["seq"] == 0
+            assert result["result"]["payload"] is not None
+            done = json.loads(rfile.readline())
+            assert done["event"] == "sweep-done" and done["size"] == 1
