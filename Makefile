@@ -1,6 +1,6 @@
 # Convenience targets for the VRL-DRAM reproduction.
 
-.PHONY: install test bench repro clean
+.PHONY: install test bench bench-report repro clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-report:
+	python scripts/bench_report.py
 
 repro:
 	vrl-dram all

@@ -26,6 +26,9 @@ BENCH_TIMELINE_JSON = Path(__file__).parent / "BENCH_timeline.json"
 #: The committed serving-layer trajectory file (queries per second).
 BENCH_SERVICE_JSON = Path(__file__).parent / "BENCH_service.json"
 
+#: The committed calibration trajectory file (lanes per second).
+BENCH_CALIBRATION_JSON = Path(__file__).parent / "BENCH_calibration.json"
+
 
 def scalar_reference(policy, timing, duration_cycles):
     """The pre-refactor fastpath: one ``refresh_row`` call per deadline."""
@@ -69,6 +72,11 @@ def record_timeline_bench(section, entry):
 def record_service_bench(section, entry):
     """Merge one serving benchmark's numbers into ``BENCH_service.json``."""
     _merge_bench(BENCH_SERVICE_JSON, section, entry)
+
+
+def record_calibration_bench(section, entry):
+    """Merge one calibration benchmark's numbers into ``BENCH_calibration.json``."""
+    _merge_bench(BENCH_CALIBRATION_JSON, section, entry)
 
 
 def _merge_bench(path, section, entry):

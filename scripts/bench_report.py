@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Merge every committed ``benchmarks/BENCH_*.json`` into one table.
+
+Each performance PR records its tentpole numbers into a committed
+``BENCH_<area>.json`` (timeline throughput, serving layer, calibration
+lanes, ...).  This report flattens them all into a single trajectory
+table — per benchmark section: the work unit, every recorded variant's
+rate, and the recorded speedup ratios — so ``make bench-report`` shows
+the whole performance story of the repo at a glance without re-running
+anything.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}/s"
+    return f"{value:,.1f}/s"
+
+
+def collect(bench_dir: Path) -> list[dict]:
+    """Flatten every ``BENCH_*.json`` section into report rows."""
+    rows = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        area = path.stem[len("BENCH_"):]
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{path.name}: malformed JSON ({exc})")
+        if not isinstance(data, dict):
+            raise SystemExit(f"{path.name}: expected an object of sections")
+        for section, entry in sorted(data.items()):
+            if not isinstance(entry, dict):
+                continue
+            rates = {}
+            unit = ""
+            speedups = {}
+            scalars = {}
+            for key, value in entry.items():
+                if key.endswith("_per_s") and isinstance(value, dict):
+                    unit = key[: -len("_per_s")].replace("_", " ")
+                    rates = value
+                elif "speedup" in key or "overhead" in key:
+                    speedups[key] = value
+                elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                    scalars[key] = value
+            rows.append(
+                {
+                    "area": area,
+                    "section": section,
+                    "unit": unit,
+                    "rates": rates,
+                    "speedups": speedups,
+                    "scalars": scalars,
+                }
+            )
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    """The trajectory table as aligned text."""
+    if not rows:
+        return "no BENCH_*.json files found"
+    table = [("benchmark", "rates", "speedup")]
+    for row in rows:
+        rates = ", ".join(
+            f"{name} {_fmt_rate(rate)}"
+            for name, rate in sorted(row["rates"].items())
+        )
+        if rates and row["unit"]:
+            rates = f"[{row['unit']}] {rates}"
+        speedup = ", ".join(
+            f"{key} {value:.2f}x"
+            for key, value in sorted(row["speedups"].items())
+        )
+        table.append((f"{row['area']}:{row['section']}", rates or "-", speedup or "-"))
+    widths = [max(len(line[col]) for line in table) for col in range(3)]
+    out = []
+    for i, line in enumerate(table):
+        out.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(line)).rstrip())
+        if i == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir", type=Path, default=BENCH_DIR,
+        help="directory holding the BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the flattened rows as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    if not args.bench_dir.is_dir():
+        print(f"bench directory not found: {args.bench_dir}", file=sys.stderr)
+        return 2
+    rows = collect(args.bench_dir)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,11 @@ from .netlist import (
 )
 from .waveforms import Waveform, constant, piecewise_linear, pulse, step
 from .rescue import ConvergenceReport, RescueAttempt
+from .batched import (
+    BatchedCircuitSession,
+    BatchedTransientResult,
+    ConvergenceFallbackError,
+)
 from .solver import (
     CircuitSession,
     ConvergenceError,
@@ -75,8 +80,11 @@ __all__ = [
     "piecewise_linear",
     "pulse",
     "step",
+    "BatchedCircuitSession",
+    "BatchedTransientResult",
     "CircuitSession",
     "ConvergenceError",
+    "ConvergenceFallbackError",
     "ConvergenceReport",
     "RescueAttempt",
     "SolverStats",

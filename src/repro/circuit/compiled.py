@@ -224,6 +224,9 @@ class CompiledCircuit:
         self._lin_cache_dt: Optional[float] = None
         self._lin_cache_base = None
         self._lin_cache_factor = None
+        # Per-lane-count cache of the block-diagonal CSC structure used
+        # by the batched sparse path (indices/indptr only; data varies).
+        self._blk_cache: dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # structure construction                                              #
@@ -458,6 +461,33 @@ class CompiledCircuit:
             I[rb] += value
         return I
 
+    def _rhs_base_batch(
+        self, XP_prev: np.ndarray, t: float, dt: float, source_scale=1.0
+    ) -> np.ndarray:
+        """Batched :meth:`_rhs_base`: one padded RHS row per lane.
+
+        ``source_scale`` may be a scalar or an ``(L,)`` array of per-lane
+        supply scales (the batched session's waveform parameter array).
+        Each lane's row is elementwise the vector the scalar path would
+        build, with matching scatter order for duplicate history rows.
+        """
+        L = XP_prev.shape[0]
+        I = np.zeros((L, self.size + 1))
+        if len(self._h_coef):
+            hist = (self._h_coef / dt) * (
+                XP_prev[:, self._h_a] - XP_prev[:, self._h_b]
+            )
+            lanes = np.arange(L, dtype=np.intp)[:, None]
+            np.add.at(I, (lanes, self._h_row[None, :]), hist)
+        scale = np.asarray(source_scale, dtype=float)
+        for row, wave in zip(self._vs_rows, self._vs_waves):
+            I[:, row] += scale * wave(t)
+        for ra, rb, wave in zip(self._is_rows_a, self._is_rows_b, self._is_waves):
+            value = scale * wave(t)
+            I[:, ra] -= value
+            I[:, rb] += value
+        return I
+
     def _device_stamps(self, xp: np.ndarray):
         """Vectorized linearization of every MOSFET at iterate ``xp``.
 
@@ -467,11 +497,16 @@ class CompiledCircuit:
         identical to ``_MOSFET._ids`` in every operating region, so the
         compiled system matches the reference one to rounding (a couple
         of ulps from reassociated products).
+
+        ``xp`` may also be a stacked ``(L, size + 1)`` batch of lane
+        states; every returned array then grows a leading lane axis.
+        The arithmetic is elementwise, so each lane's stamps are exactly
+        the values the unbatched call would produce for that lane.
         """
         beta, vt, lam, pol = self._f_beta, self._f_vt, self._f_lam, self._f_pol
-        vd = xp[self._f_d_gather] * pol
-        vg = xp[self._f_g_gather] * pol
-        vs = xp[self._f_s_gather] * pol
+        vd = xp[..., self._f_d_gather] * pol
+        vg = xp[..., self._f_g_gather] * pol
+        vs = xp[..., self._f_s_gather] * pol
         swap = vd < vs
         vgs = vg - np.minimum(vd, vs)
         vds = np.abs(vd - vs)
@@ -491,17 +526,17 @@ class CompiledCircuit:
 
         neg_gds = -gds
         neg_gm = -gm
-        vals = np.empty((len(beta), 8))
-        vals[:, 0] = gds
-        vals[:, 1] = gds
-        vals[:, 2] = neg_gds
-        vals[:, 3] = neg_gds
-        vals[:, 4] = gm
-        vals[:, 5] = neg_gm
-        vals[:, 6] = neg_gm
-        vals[:, 7] = gm
-        pos = np.where(swap[:, None], self._pos_swapped, self._pos_normal)
-        rhs_pos = np.where(swap[:, None], self._rhs_swapped, self._rhs_normal)
+        vals = np.empty(gds.shape + (8,))
+        vals[..., 0] = gds
+        vals[..., 1] = gds
+        vals[..., 2] = neg_gds
+        vals[..., 3] = neg_gds
+        vals[..., 4] = gm
+        vals[..., 5] = neg_gm
+        vals[..., 6] = neg_gm
+        vals[..., 7] = gm
+        pos = np.where(swap[..., None], self._pos_swapped, self._pos_normal)
+        rhs_pos = np.where(swap[..., None], self._rhs_swapped, self._rhs_normal)
         return pos, vals, rhs_pos, ieq
 
     def prepare_step(
@@ -595,6 +630,199 @@ class CompiledCircuit:
             return x_pad[:size]
 
         return iterate_dense
+
+    # ------------------------------------------------------------------ #
+    # batched (multi-lane) assembly                                       #
+    # ------------------------------------------------------------------ #
+
+    def _block_sparse_structure(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """CSC ``(indices, indptr)`` of ``k`` copies of the pattern on the
+        block diagonal.  Column ``l * size + j`` of the block matrix is
+        column ``j`` of lane ``l``, so lane-major concatenation of the
+        per-lane data vectors is already in block-CSC order."""
+        cached = self._blk_cache.get(k)
+        if cached is None:
+            nnz, size = self._nnz, self.size
+            indices = np.tile(self._csc_indices.astype(np.int64), k) + np.repeat(
+                np.arange(k, dtype=np.int64) * size, nnz
+            )
+            indptr = np.empty(k * size + 1, dtype=np.int64)
+            indptr[0] = 0
+            indptr[1:] = (
+                self._csc_indptr[1:].astype(np.int64)[None, :]
+                + (np.arange(k, dtype=np.int64) * nnz)[:, None]
+            ).ravel()
+            cached = self._blk_cache[k] = (indices, indptr)
+        return cached
+
+    def _block_sparse_factor(self, data: np.ndarray, stats):
+        """One SuperLU factorization of the ``(k*size, k*size)`` block system."""
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+
+        k = data.shape[0]
+        indices, indptr = self._block_sparse_structure(k)
+        n = k * self.size
+        matrix = sp.csc_matrix((data.ravel(), indices, indptr), shape=(n, n))
+        try:
+            lu = spla.splu(matrix)
+        except RuntimeError as exc:
+            raise SingularSystemError(str(exc)) from exc
+        stats.factorizations += 1
+        return lu.solve
+
+    def prepare_step_batched(
+        self,
+        XP_prev: np.ndarray,
+        t: float,
+        dt: float,
+        stats,
+        source_scale=1.0,
+    ):
+        """Batched counterpart of :meth:`prepare_step` over ``L`` lanes.
+
+        ``XP_prev`` is the stacked ``(L, size + 1)`` padded state.
+        Returns ``iterate(XP, rows) -> (X_next, solved)``: one Newton
+        round for the lane subset ``rows`` (``XP`` holds just those
+        lanes' states), giving the stacked node solutions and a boolean
+        mask of lanes whose linear solve succeeded — a singular lane is
+        reported in the mask instead of aborting the batch, so the
+        session can retry it alone through the scalar rescue path.
+
+        ``source_scale`` may be an ``(L,)`` array of per-lane supply
+        scales.  There is no ``gshunt``: batched stepping never deforms
+        the system — rescue is per-lane through :meth:`prepare_step`.
+
+        Solve backends per path:
+
+        * device-free + reusable factorization: one multi-RHS solve
+          shared by every lane (bit-identical per lane in practice);
+        * dense with devices: stacked LAPACK ``gesv`` over the lane
+          axis — same elimination, independently compiled kernels, so
+          lanes agree with the scalar path to solver tolerance (the
+          documented 2 mV circuit envelope), not bit-for-bit;
+        * sparse: one SuperLU factorization of the block-diagonal
+          system, reused across the lane axis.
+        """
+        size = self.size
+        base, factor = self._linear_base(dt, stats)
+        I_all = self._rhs_base_batch(XP_prev, t, dt, source_scale)
+
+        if self.n_devices == 0 and factor is not None:
+            cache: dict = {}
+
+            def iterate_linear_batch(XP, rows):
+                X = cache.get("X")
+                if X is None:
+                    # Both factor kinds (LAPACK lu_solve, SuperLU solve)
+                    # accept a (size, L) multi-RHS block directly.
+                    X = cache["X"] = factor(I_all[:, :size].T).T
+                return X[rows], np.ones(len(rows), dtype=bool)
+
+            return iterate_linear_batch
+
+        if self.sparse:
+            nnz = self._nnz
+
+            def iterate_sparse_batch(XP, rows):
+                k = XP.shape[0]
+                data = np.broadcast_to(base, (k, nnz + 1)).copy()
+                I = I_all[rows]
+                if self.n_devices:
+                    pos, vals, rhs_pos, ieq = self._device_stamps(XP)
+                    lane = np.arange(k, dtype=np.intp)
+                    np.add.at(
+                        data.ravel(),
+                        (pos + (lane * (nnz + 1))[:, None, None]).ravel(),
+                        vals.ravel(),
+                    )
+                    rhs_off = (lane * (size + 1))[:, None]
+                    np.add.at(
+                        I.ravel(), (rhs_pos[..., 0] + rhs_off).ravel(), (-ieq).ravel()
+                    )
+                    np.add.at(
+                        I.ravel(), (rhs_pos[..., 1] + rhs_off).ravel(), ieq.ravel()
+                    )
+                diag = data[:, self._diag_pos]
+                zero = diag == 0.0
+                if zero.any():
+                    li, wi = np.nonzero(zero)
+                    data[li, self._diag_pos[wi]] = 1e-12
+                try:
+                    solve = self._block_sparse_factor(data[:, :nnz], stats)
+                    X = solve(I[:, :size].ravel()).reshape(k, size)
+                    return X, np.ones(k, dtype=bool)
+                except SingularSystemError:
+                    # Identify the singular lane(s) individually; healthy
+                    # lanes still get their solution this round.
+                    X = np.zeros((k, size))
+                    solved = np.zeros(k, dtype=bool)
+                    for lane_i in range(k):
+                        try:
+                            lane_solve = self._sparse_factor(
+                                data[lane_i, :nnz].copy(), stats
+                            )
+                            X[lane_i] = lane_solve(I[lane_i, :size])
+                            solved[lane_i] = True
+                        except SingularSystemError:
+                            pass
+                    return X, solved
+
+            return iterate_sparse_batch
+
+        from scipy.linalg.lapack import dgesv
+
+        stride = size + 1
+        pad_cell = size * stride + size
+        cells = stride * stride
+        buffers: dict = {}
+
+        def iterate_dense_batch(XP, rows):
+            k = XP.shape[0]
+            buf = buffers.get("G")
+            if buf is None or buf.shape[0] < k:
+                buf = buffers["G"] = np.empty((k, stride, stride))
+            G = buf[:k]
+            G[...] = base
+            I = I_all[rows]
+            if self.n_devices:
+                pos, vals, rhs_pos, ieq = self._device_stamps(XP)
+                lane = np.arange(k, dtype=np.intp)
+                np.add.at(
+                    G.reshape(-1),
+                    (pos + (lane * cells)[:, None, None]).ravel(),
+                    vals.ravel(),
+                )
+                rhs_off = (lane * stride)[:, None]
+                np.add.at(
+                    I.ravel(), (rhs_pos[..., 0] + rhs_off).ravel(), (-ieq).ravel()
+                )
+                np.add.at(I.ravel(), (rhs_pos[..., 1] + rhs_off).ravel(), ieq.ravel())
+            flat = G.reshape(k, cells)
+            diag = flat[:, self._diag_flat]
+            zero = diag == 0.0
+            if zero.any():
+                li, wi = np.nonzero(zero)
+                flat[li, self._diag_flat[wi]] = 1e-12
+            flat[:, pad_cell] = 1.0
+            I[:, size] = 0.0
+            stats.factorizations += k
+            try:
+                X_pad = np.linalg.solve(G, I[:, :, None])[:, :, 0]
+                return X_pad[:, :size], np.ones(k, dtype=bool)
+            except np.linalg.LinAlgError:
+                # At least one lane is singular: fall back to per-lane
+                # solves to find out which, keeping the others alive.
+                X = np.zeros((k, size))
+                solved = np.zeros(k, dtype=bool)
+                for lane_i in range(k):
+                    _lu, _piv, x_pad, info = dgesv(G[lane_i], I[lane_i])
+                    if info == 0:
+                        X[lane_i] = x_pad[:size]
+                        solved[lane_i] = True
+                return X, solved
+
+        return iterate_dense_batch
 
     # ------------------------------------------------------------------ #
     # verification                                                        #

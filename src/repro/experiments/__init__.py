@@ -33,6 +33,7 @@ from .ablations import (
 )
 from .baselines_study import run_baseline_comparison
 from .bins_study import run_bins_ablation
+from .calibration_study import run_calibration_study
 from .fig1a import run_fig1a
 from .fig1b import run_fig1b
 from .fig3 import run_fig3
@@ -65,6 +66,7 @@ __all__ = [
     "run_validation",
     "run_temperature_study",
     "run_bins_ablation",
+    "run_calibration_study",
     "run_performance_study",
     "run_baseline_comparison",
 ]

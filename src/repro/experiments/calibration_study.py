@@ -1,0 +1,121 @@
+"""CAL: batched circuit calibration of Eq. 12 (extension).
+
+The analytical restoration model (Eq. 12) is only as good as its match
+to the transistor-level refresh chain of Fig. 2d.  This study sweeps a
+profile of starting charge states through both the vectorized analytic
+model and the batched circuit transient — every point a lane of one
+multi-lane :class:`~repro.circuit.BatchedCircuitSession` solve — and
+tabulates the residual per restore-fraction target, giving the same
+model-vs-SPICE validation as Fig. 5/Table 1 but across the whole
+charge range the MPRSF iteration visits, at a fraction of the
+per-point simulation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..runner import ExperimentRunner
+from ..service import Query, driver_client
+from ..technology import DEFAULT_GEOMETRY, DEFAULT_TECH, BankGeometry, TechnologyParams
+from .result import ExperimentResult
+
+#: Restore-fraction targets calibrated by default (``None`` = the
+#: technology's partial target).
+DEFAULT_TARGETS: tuple[Optional[float], ...] = (None, 0.90, 0.99)
+
+#: Default starting-charge profile bounds and lane count.  The lower
+#: bound sits above the sensing-failure threshold (0.625) — below it a
+#: refresh is lost anyway — and the upper below the full-restore target.
+DEFAULT_START_LO = 0.70
+DEFAULT_START_HI = 0.95
+DEFAULT_POINTS = 16
+
+
+def run_calibration_study(
+    tech: TechnologyParams = DEFAULT_TECH,
+    geometry: BankGeometry = DEFAULT_GEOMETRY,
+    targets: Sequence[Optional[float]] = DEFAULT_TARGETS,
+    start_lo: float = DEFAULT_START_LO,
+    start_hi: float = DEFAULT_START_HI,
+    n_points: int = DEFAULT_POINTS,
+    runner: Optional[ExperimentRunner] = None,
+    client=None,
+) -> ExperimentResult:
+    """Analytic-vs-circuit restoration residuals per restore target.
+
+    Args:
+        tech: technology parameters.
+        geometry: bank geometry.
+        targets: restore-fraction targets to calibrate (``None`` =
+            technology default partial target).
+        start_lo / start_hi: bounds of the starting-charge profile.
+        n_points: lanes per calibration (points in the profile).
+        runner: experiment executor to wrap in a transient in-process
+            service; defaults to a serial, uncached one.
+        client: service client (local or remote) to sweep through
+            instead; results are bit-identical either way.
+    """
+    queries = [
+        Query(
+            kind="calibration-sweep",
+            tech=tech,
+            rows=geometry.rows,
+            cols=geometry.cols,
+            restore_fraction=None if target is None else float(target),
+            start_lo=float(start_lo),
+            start_hi=float(start_hi),
+            n_points=int(n_points),
+        )
+        for target in targets
+    ]
+    with driver_client(client, runner) as service:
+        report = service.sweep(queries, experiment="calibrate")
+
+    rows = []
+    dropped = []
+    for target, payload in zip(targets, report.results):
+        name = "default" if target is None else f"{target:.2f}"
+        if payload is None:  # cell failed every attempt
+            dropped.append(name)
+            continue
+        circuit = payload["circuit_fractions"]
+        rows.append(
+            (
+                f"{payload['restore_fraction']:.2f}",
+                payload["tau_partial_cycles"],
+                len(payload["start_fractions"]),
+                f"{min(circuit):.4f}",
+                f"{max(circuit):.4f}",
+                f"{payload['max_abs_error'] * 1e3:.2f} mV/Vdd",
+            )
+        )
+
+    return ExperimentResult(
+        experiment_id="CAL",
+        title="Eq. 12 restoration vs batched circuit transient",
+        headers=[
+            "restore target",
+            "tau_partial (cy)",
+            "points",
+            "circuit min",
+            "circuit max",
+            "max |analytic - circuit|",
+        ],
+        rows=rows,
+        notes={
+            "profile": (
+                f"{n_points} starting charges in [{start_lo:.2f}, {start_hi:.2f}] "
+                "of Vdd, one batched-session lane each"
+            ),
+            "reading": (
+                "the analytic Eq. 12 window tracks the transistor-level "
+                "restore within a few percent of Vdd across the whole "
+                "charge range the MPRSF iteration visits; the residual "
+                "shrinks as the restore target lengthens the quantized "
+                "window, because the circuit's restore saturates early "
+                "while Eq. 12 keeps charging along the ideal exponential"
+            ),
+            **({"targets dropped (failed cells)": ", ".join(dropped)} if dropped else {}),
+        },
+    ).merge_notes(report.notes())

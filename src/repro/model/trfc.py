@@ -16,6 +16,7 @@ MPRSF calculator iterates on.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -221,4 +222,49 @@ class RefreshLatencyModel:
         fraction = v_end / tech.vdd
         if truncate:
             fraction = min(fraction, max(start_fraction, timing.restore_fraction))
+        return fraction
+
+    def restored_fractions(
+        self,
+        start_fractions: np.ndarray,
+        timing: RefreshTiming,
+        truncate: bool = True,
+    ) -> np.ndarray:
+        """Vectorized :meth:`restored_fraction` over an array of cells.
+
+        Bit-identical per element to the scalar method: the refresh
+        timing fixes the sensing delay, drive window, and restoration
+        time constant, so the only per-cell arithmetic in Eq. 12 is the
+        elementwise ``vdd - (vdd - v_start) * exp(-drive / tau_rc)`` —
+        the exponential is computed once, with :func:`math.exp` exactly
+        as the scalar path does.
+
+        Args:
+            start_fractions: charge fractions when the refresh begins,
+                any shape; must all be non-negative.
+            timing: the refresh timing to apply to every cell.
+            truncate: as in :meth:`restored_fraction`.
+
+        Returns:
+            Array of ending charge fractions, same shape as the input.
+        """
+        start = np.asarray(start_fractions, dtype=float)
+        if start.size and float(start.min()) < 0:
+            worst = float(start.min())
+            raise ValueError(f"charge fraction cannot be negative, got {worst}")
+        tech = self.tech
+        tau_post_seconds = timing.tau_post * tech.tck_ctrl
+        t_sense = self.postsensing.t_sense(self.presensing.effective_sense_margin())
+        v_start = start * tech.vdd
+        if tau_post_seconds <= t_sense:
+            v_end = v_start
+        else:
+            drive = tau_post_seconds - t_sense
+            decay = math.exp(-drive / self.postsensing.tau_restore)
+            v_end = tech.vdd - (tech.vdd - v_start) * decay
+        fraction = v_end / tech.vdd
+        if truncate:
+            fraction = np.minimum(
+                fraction, np.maximum(start, timing.restore_fraction)
+            )
         return fraction

@@ -11,6 +11,17 @@ data patterns — reproducing the paper's choice of
 """
 
 from .calculator import MPRSFCalculator
-from .optimizer import OptimizerResult, TauPartialOptimizer
+from .optimizer import (
+    CalibrationResult,
+    CandidateEvaluation,
+    OptimizerResult,
+    TauPartialOptimizer,
+)
 
-__all__ = ["MPRSFCalculator", "OptimizerResult", "TauPartialOptimizer"]
+__all__ = [
+    "CalibrationResult",
+    "CandidateEvaluation",
+    "MPRSFCalculator",
+    "OptimizerResult",
+    "TauPartialOptimizer",
+]

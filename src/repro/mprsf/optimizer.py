@@ -64,6 +64,27 @@ class CandidateEvaluation:
 
 
 @dataclass(frozen=True)
+class CalibrationResult:
+    """Analytic-vs-circuit calibration of Eq. 12 over a charge profile.
+
+    Attributes:
+        restore_fraction: the partial-restore target calibrated against.
+        tau_partial_cycles: the quantized partial latency at that target.
+        start_fractions: the starting charge fractions swept.
+        analytic_fractions: Eq. 12 ending fractions (vectorized model).
+        circuit_fractions: batched circuit-transient ending fractions.
+        max_abs_error: worst |analytic - circuit| across the profile.
+    """
+
+    restore_fraction: float
+    tau_partial_cycles: int
+    start_fractions: np.ndarray
+    analytic_fractions: np.ndarray
+    circuit_fractions: np.ndarray
+    max_abs_error: float
+
+
+@dataclass(frozen=True)
 class OptimizerResult:
     """Full sweep result with the winning candidate.
 
@@ -210,4 +231,47 @@ class TauPartialOptimizer:
                 binning.row_period, tau_full
             ),
             mprsf=self._mprsf(profile, binning, best_timing),
+        )
+
+    def calibrate(
+        self,
+        start_fractions: np.ndarray,
+        restore_fraction: Optional[float] = None,
+        dt: float = 10e-12,
+        adaptive: bool = True,
+    ) -> CalibrationResult:
+        """Calibrate Eq. 12 against the circuit over a charge profile.
+
+        Sweeps an array of starting charge fractions through both the
+        analytic restoration model
+        (:meth:`~repro.model.trfc.RefreshLatencyModel.restored_fractions`,
+        untruncated — the circuit holds the wordline open for the whole
+        quantized window) and the batched circuit transient
+        (:meth:`~repro.mprsf.calculator.MPRSFCalculator.circuit_restored_fractions`),
+        in one multi-lane simulation instead of one transient per point.
+
+        Args:
+            start_fractions: starting charge fractions, one lane each.
+            restore_fraction: partial-restore target defining the timing
+                under calibration; defaults to the technology's partial
+                target.
+            dt, adaptive: circuit stepping controls, as in
+                :meth:`MPRSFCalculator.circuit_restored_fraction`.
+        """
+        starts = np.asarray(start_fractions, dtype=float).reshape(-1)
+        if starts.size == 0:
+            raise ValueError("start_fractions must be non-empty")
+        timing = self.model.partial_refresh(restore_fraction)
+        analytic = self.model.restored_fractions(starts, timing, truncate=False)
+        circuit = self.calculator.circuit_restored_fractions(
+            starts, timing, dt=dt, adaptive=adaptive
+        )
+        error = float(np.max(np.abs(analytic - circuit)))
+        return CalibrationResult(
+            restore_fraction=timing.restore_fraction,
+            tau_partial_cycles=timing.total_cycles,
+            start_fractions=starts,
+            analytic_fractions=analytic,
+            circuit_fractions=circuit,
+            max_abs_error=assert_finite(error, "mprsf.calibrate", "max_abs_error"),
         )

@@ -295,6 +295,47 @@ def _temperature_point_cell(params: Mapping[str, Any]) -> dict:
     }
 
 
+@lru_cache(maxsize=8)
+def _optimizer(frozen_tech: tuple, rows: int, cols: int) -> TauPartialOptimizer:
+    """One optimizer (and its compiled circuit sessions) per bank.
+
+    The calibration cell's cost is dominated by the refresh netlist's
+    compiled MNA structure; caching the optimizer keeps it warm across
+    every calibration cell a worker computes.
+    """
+    return TauPartialOptimizer(_tech(frozen_tech), BankGeometry(rows, cols))
+
+
+def _calibration_sweep_cell(params: Mapping[str, Any]) -> dict:
+    """Batched analytic-vs-circuit calibration over a charge profile.
+
+    Params: ``tech``, ``rows``, ``cols``, ``restore_fraction`` (``None``
+    = technology default), ``start_lo``, ``start_hi``, ``n_points``.
+    All points run as lanes of one batched circuit transient.
+    """
+    frozen = _freeze(params["tech"])
+    rows, cols = int(params["rows"]), int(params["cols"])
+    n_points = int(params["n_points"])
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    starts = np.linspace(
+        float(params["start_lo"]), float(params["start_hi"]), n_points
+    )
+    restore = params.get("restore_fraction")
+    optimizer = _optimizer(frozen, rows, cols)
+    result = optimizer.calibrate(
+        starts, None if restore is None else float(restore)
+    )
+    return {
+        "restore_fraction": result.restore_fraction,
+        "tau_partial_cycles": result.tau_partial_cycles,
+        "start_fractions": result.start_fractions.tolist(),
+        "analytic_fractions": result.analytic_fractions.tolist(),
+        "circuit_fractions": result.circuit_fractions.tolist(),
+        "max_abs_error": result.max_abs_error,
+    }
+
+
 #: Registry of cell kinds to their compute functions.
 CELL_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
     "refresh-overhead": _refresh_overhead_cell,
@@ -302,6 +343,7 @@ CELL_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
     "rank-mode": _rank_mode_cell,
     "baseline-mechanism": _baseline_mechanism_cell,
     "temperature-point": _temperature_point_cell,
+    "calibration-sweep": _calibration_sweep_cell,
 }
 
 #: Payload-layout version per cell kind.  Bump a kind's entry whenever
@@ -315,6 +357,7 @@ RESULT_SCHEMAS: dict[str, int] = {
     "rank-mode": 1,
     "baseline-mechanism": 1,
     "temperature-point": 1,
+    "calibration-sweep": 1,
 }
 
 for _kind, _schema in RESULT_SCHEMAS.items():

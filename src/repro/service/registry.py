@@ -25,7 +25,9 @@ EXPERIMENT_DEFAULTS: dict[str, Any] = {
 }
 
 #: Verbs whose drivers sweep through the service client.
-SWEEP_EXPERIMENTS = ("fig4", "performance", "rank", "baselines", "temperature")
+SWEEP_EXPERIMENTS = (
+    "fig4", "performance", "rank", "baselines", "temperature", "calibrate",
+)
 
 #: Every registered experiment verb, in CLI ``choices`` order.
 EXPERIMENT_NAMES = (
@@ -46,6 +48,7 @@ EXPERIMENT_NAMES = (
     "validate",
     "baselines",
     "temperature",
+    "calibrate",
     "performance",
 )
 
@@ -98,6 +101,7 @@ def run_experiment(
         "temperature": lambda: exp.run_temperature_study(
             seed=opts["seed"], client=client
         ),
+        "calibrate": lambda: exp.run_calibration_study(client=client),
         "performance": lambda: exp.run_performance_study(
             duration_seconds=min(opts["duration"], 0.5),
             benchmarks=opts["benchmarks"] or None,

@@ -53,6 +53,10 @@ KIND_PARAMS: dict[str, tuple[str, ...]] = {
         "duration_seconds",
     ),
     "temperature-point": ("tech", "rows", "cols", "temperature", "seed"),
+    "calibration-sweep": (
+        "tech", "rows", "cols", "restore_fraction", "start_lo", "start_hi",
+        "n_points",
+    ),
 }
 
 #: Fields that must be non-``None`` for a kind to be computable.
@@ -62,6 +66,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "rank-mode": ("n_banks", "mode"),
     "baseline-mechanism": ("mechanism",),
     "temperature-point": ("temperature",),
+    "calibration-sweep": ("start_lo", "start_hi", "n_points"),
 }
 
 
@@ -87,6 +92,13 @@ class Query:
         n_banks: banks per rank (``rank-mode``).
         mechanism: refresh mechanism name (``baseline-mechanism``).
         temperature: operating point in degC (``temperature-point``).
+        restore_fraction: partial-restore target under calibration, or
+            ``None`` for the technology default
+            (``calibration-sweep``).
+        start_lo / start_hi: bounds of the starting-charge profile
+            (``calibration-sweep``).
+        n_points: lanes of the calibration profile
+            (``calibration-sweep``).
         label: human-readable tag for manifests and telemetry.
     """
 
@@ -103,6 +115,10 @@ class Query:
     n_banks: Optional[int] = None
     mechanism: Optional[str] = None
     temperature: Optional[float] = None
+    restore_fraction: Optional[float] = None
+    start_lo: Optional[float] = None
+    start_hi: Optional[float] = None
+    n_points: Optional[int] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -134,6 +150,13 @@ class Query:
             return f"rank/{self.mode}"
         if self.kind == "baseline-mechanism":
             return f"baseline/{self.mechanism}"
+        if self.kind == "calibration-sweep":
+            target = (
+                "default"
+                if self.restore_fraction is None
+                else f"{self.restore_fraction:.2f}"
+            )
+            return f"calibrate/{target}x{self.n_points}"
         return f"temp/{self.temperature:.0f}C"
 
     def params(self) -> dict[str, Any]:
@@ -146,10 +169,12 @@ class Query:
         out: dict[str, Any] = {}
         for name in KIND_PARAMS[self.kind]:
             value = getattr(self, name)
-            if name in ("rows", "cols", "nbits", "n_banks", "seed"):
+            if name in ("rows", "cols", "nbits", "n_banks", "seed", "n_points"):
                 value = int(value)
-            elif name in ("duration_seconds", "temperature"):
+            elif name in ("duration_seconds", "temperature", "start_lo", "start_hi"):
                 value = float(value)
+            elif name == "restore_fraction":
+                value = None if value is None else float(value)
             elif name == "tech":
                 value = dict(value)
             out[name] = value

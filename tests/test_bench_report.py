@@ -1,0 +1,91 @@
+"""Tests for the benchmark trajectory report (scripts/bench_report.py).
+
+The report is what ``make bench-report`` prints; it must flatten every
+committed ``BENCH_*.json`` shape (timeline, service, calibration) into
+one table without caring which PR recorded which keys.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_report.py"
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def report():
+    spec = importlib.util.spec_from_file_location("bench_report_script", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_report_script"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCollect:
+    def test_committed_files_flatten(self, report):
+        rows = report.collect(BENCH_DIR)
+        names = {row["area"] for row in rows}
+        # Every committed trajectory file shows up.
+        assert {"timeline", "service", "calibration"} <= names
+        calibration = [r for r in rows if r["section"] == "calibration/circuit"]
+        assert len(calibration) == 1
+        assert calibration[0]["unit"] == "lanes"
+        assert set(calibration[0]["rates"]) == {"scalar", "batched"}
+        assert "speedup_batched_vs_scalar" in calibration[0]["speedups"]
+
+    def test_synthetic_file(self, report, tmp_path):
+        (tmp_path / "BENCH_demo.json").write_text(
+            json.dumps(
+                {
+                    "demo/x": {
+                        "widgets_per_s": {"old": 10.0, "new": 50.0},
+                        "speedup_new_vs_old": 5.0,
+                        "n_widgets": 64,
+                    }
+                }
+            )
+        )
+        rows = report.collect(tmp_path)
+        assert rows == [
+            {
+                "area": "demo",
+                "section": "demo/x",
+                "unit": "widgets",
+                "rates": {"old": 10.0, "new": 50.0},
+                "speedups": {"speedup_new_vs_old": 5.0},
+                "scalars": {"n_widgets": 64},
+            }
+        ]
+
+    def test_malformed_json_rejected(self, report, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(SystemExit, match="malformed"):
+            report.collect(tmp_path)
+
+
+class TestRender:
+    def test_table_contains_every_section(self, report):
+        rows = report.collect(BENCH_DIR)
+        text = report.render(rows)
+        for row in rows:
+            assert f"{row['area']}:{row['section']}" in text
+
+    def test_empty_dir(self, report, tmp_path):
+        assert "no BENCH_" in report.render(report.collect(tmp_path))
+
+    def test_main_prints_table(self, report, capsys):
+        assert report.main([]) == 0
+        out = capsys.readouterr().out
+        assert "calibration:calibration/circuit" in out
+
+    def test_main_json_mode(self, report, capsys):
+        assert report.main(["--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(r["section"] == "calibration/circuit" for r in rows)
+
+    def test_missing_dir_exit_code(self, report, tmp_path):
+        assert report.main(["--bench-dir", str(tmp_path / "nope")]) == 2

@@ -1,0 +1,375 @@
+"""Differential harness for the batched multi-lane circuit solver.
+
+Architecture invariant 14: every lane of a
+:class:`~repro.circuit.BatchedCircuitSession` transient matches a
+scalar :class:`~repro.circuit.CircuitSession` run of the same circuit
+and overrides — bit-identical on the reference-fallback path, to
+machine precision on the shared-factorization (device-free) path, and
+within the documented 2 mV circuit envelope on the stacked dense/sparse
+device paths (independently compiled LAPACK kernels may round
+differently; in practice the gap is sub-microvolt).  The per-lane failure machinery is covered too: a lane
+the batch cannot converge retries through the scalar
+subdivision/rescue path without perturbing its neighbors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    BatchedCircuitSession,
+    Capacitor,
+    Circuit,
+    CircuitSession,
+    ConvergenceFallbackError,
+    Element,
+    GND,
+    NMOS,
+    Resistor,
+    VoltageSource,
+    constant,
+    step,
+)
+from repro.circuit.dram_circuits import RefreshPhases, build_refresh_circuit
+from repro.model.trfc import RefreshLatencyModel
+from repro.technology import DEFAULT_GEOMETRY, DEFAULT_TECH
+
+#: The documented circuit agreement envelope (volts).
+TOLERANCE_V = 2e-3
+
+
+def _refresh_setup():
+    """The Fig. 2d refresh chain and its partial-refresh horizon."""
+    tech, geom = DEFAULT_TECH, DEFAULT_GEOMETRY
+    timing = RefreshLatencyModel(tech, geom).partial_refresh(0.95)
+    tck = tech.tck_ctrl
+    t_wl_on = (timing.tau_eq + timing.tau_fixed // 2) * tck
+    phases = RefreshPhases(
+        t_eq_off=timing.tau_eq * tck,
+        t_wl_on=t_wl_on,
+        t_sa_on=t_wl_on + timing.tau_pre * tck,
+    )
+    return build_refresh_circuit(tech, geom, phases), timing.total_seconds, tech.vdd
+
+
+def _rc_ladder(n_stages, with_device=False):
+    """A driven RC ladder; ``n_stages > 200`` forces the sparse path."""
+    circuit = Circuit(name=f"ladder-{n_stages}")
+    circuit.add(VoltageSource("V1", "n0", GND, step(0.0, 1.2, 2e-10)))
+    for i in range(n_stages):
+        circuit.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", 1e3))
+        circuit.add(Capacitor(f"C{i}", f"n{i + 1}", GND, 5e-14))
+    if with_device:
+        circuit.add(VoltageSource("Vg", "gate", GND, constant(1.0)))
+        circuit.add(NMOS("M1", f"n{n_stages}", "gate", GND, beta=2e-4, vt=0.4))
+    return circuit
+
+
+class _CubicChatter(Element):
+    """f(v) = v^3 - 2v + 2: damped Newton from 0 enters a 2-cycle.
+
+    Opaque to the compiler, so any circuit holding one runs through the
+    reference assembler — and the batched session through per-lane
+    scalar simulation, where the gmin rescue ladder applies per lane.
+    """
+
+    def __init__(self):
+        super().__init__("cubic")
+
+    def nodes(self):
+        return ["a"]
+
+    def stamp(self, G, I, x, v_prev, t, dt):
+        idx = self._indices[0]
+        v = x[idx]
+        f = v**3 - 2.0 * v + 2.0
+        df = 3.0 * v**2 - 2.0
+        G[idx, idx] += df
+        I[idx] += df * v - f
+
+
+# --------------------------------------------------------------------- #
+# Differential: batched vs per-lane scalar                               #
+# --------------------------------------------------------------------- #
+
+
+class TestBatchedMatchesScalar:
+    def test_refresh_netlist_fixed_step(self):
+        circuit, t_stop, vdd = _refresh_setup()
+        starts = np.linspace(0.70, 0.98, 8)
+        batched = BatchedCircuitSession(circuit).simulate_batch(
+            t_stop, 10e-12, record=["cell", "bl"],
+            lane_overrides={"cell": starts * vdd},
+        )
+        assert batched.n_lanes == 8
+        assert batched["cell"].shape == batched["bl"].shape
+        assert batched.time[0] == 0.0 and batched["cell"].shape[1] == len(batched.time)
+        for lane, start in enumerate(starts):
+            scalar = CircuitSession(circuit).simulate(
+                t_stop, 10e-12, record=["cell", "bl"],
+                initial_overrides={"cell": float(start) * vdd},
+            )
+            for node in ("cell", "bl"):
+                gap = np.abs(batched[node][lane] - np.asarray(scalar[node])).max()
+                assert gap <= TOLERANCE_V, f"lane {lane} node {node}: {gap}"
+
+    def test_refresh_netlist_adaptive(self):
+        circuit, t_stop, vdd = _refresh_setup()
+        starts = np.linspace(0.72, 0.96, 6)
+        batched = BatchedCircuitSession(circuit).simulate_batch(
+            t_stop, 10e-12, record=["cell"], adaptive=True,
+            lane_overrides={"cell": starts * vdd},
+        )
+        scalar_session = CircuitSession(circuit)
+        for lane, start in enumerate(starts):
+            scalar = scalar_session.simulate(
+                t_stop, 10e-12, record=["cell"], adaptive=True,
+                initial_overrides={"cell": float(start) * vdd},
+            )
+            gap = np.abs(batched["cell"][lane] - np.asarray(scalar["cell"])).max()
+            assert gap <= TOLERANCE_V, f"lane {lane}: {gap}"
+
+    def test_device_free_ladder_shares_one_factorization(self):
+        # No devices: every lane shares one factorization and a
+        # multi-RHS solve.  LAPACK's blocked multi-RHS back-substitution
+        # may round the last ulp differently from the scalar's
+        # column-at-a-time solve, so assert agreement to ~machine eps
+        # rather than bitwise.
+        circuit = _rc_ladder(12)
+        ics = np.array([0.0, 0.3, 0.9])
+        batched = BatchedCircuitSession(circuit).simulate_batch(
+            2e-9, 1e-11, record=["n12"], lane_overrides={"n12": ics}
+        )
+        for lane, ic in enumerate(ics):
+            scalar = CircuitSession(circuit).simulate(
+                2e-9, 1e-11, record=["n12"],
+                initial_overrides={"n12": float(ic)},
+            )
+            gap = np.abs(batched["n12"][lane] - np.asarray(scalar["n12"])).max()
+            assert gap <= 1e-12, f"lane {lane}: {gap}"
+
+    def test_sparse_block_diagonal_path(self):
+        # > SPARSE_THRESHOLD unknowns with a MOSFET: the batch factors
+        # one block-diagonal SuperLU system per Newton round.
+        circuit = _rc_ladder(210, with_device=True)
+        session = BatchedCircuitSession(circuit)
+        assembler = session._ensure_compiled()
+        assert assembler.sparse and assembler.n_devices == 1
+        ics = np.array([0.0, 0.5, 1.0])
+        node = "n210"
+        batched = session.simulate_batch(
+            1e-9, 2e-11, record=[node], lane_overrides={node: ics}
+        )
+        for lane, ic in enumerate(ics):
+            scalar = CircuitSession(circuit).simulate(
+                1e-9, 2e-11, record=[node], initial_overrides={node: float(ic)}
+            )
+            gap = np.abs(batched[node][lane] - np.asarray(scalar[node])).max()
+            assert gap <= 1e-9, f"lane {lane}: {gap}"
+
+    def test_opaque_circuit_falls_back_bit_identical(self):
+        # An opaque element forces the reference assembler; the batch
+        # runs each lane through the inherited scalar path, so the
+        # equality is exact by construction.
+        circuit = Circuit(name="opaque-batch")
+        circuit.add(_CubicChatter())
+        circuit.add(Resistor("R1", "a", GND, 1e6))
+        ics = np.array([-1.7, -1.5])
+        batched = BatchedCircuitSession(circuit).simulate_batch(
+            5e-10, 1e-10, record=["a"], lane_overrides={"a": ics}
+        )
+        for lane, ic in enumerate(ics):
+            scalar = CircuitSession(circuit).simulate(
+                5e-10, 1e-10, record=["a"], initial_overrides={"a": float(ic)}
+            )
+            np.testing.assert_array_equal(batched["a"][lane], np.asarray(scalar["a"]))
+
+    def test_lane_result_view_and_final(self):
+        circuit = _rc_ladder(4)
+        batched = BatchedCircuitSession(circuit).simulate_batch(
+            1e-9, 1e-11, record=["n4"], lane_overrides={"n4": np.array([0.1, 0.7])}
+        )
+        lane = batched.lane(1)
+        np.testing.assert_array_equal(lane["n4"], batched["n4"][1])
+        np.testing.assert_array_equal(lane.time, batched.time)
+        np.testing.assert_array_equal(batched.final("n4"), batched["n4"][:, -1])
+        assert batched.nodes == ["n4"] and "n4" in batched
+
+
+# --------------------------------------------------------------------- #
+# Per-lane source scaling                                                #
+# --------------------------------------------------------------------- #
+
+
+class TestLaneSourceScale:
+    def test_scaled_lane_equals_scaled_waveform(self):
+        # Lane l with source scale s must equal a scalar run of the
+        # same ladder whose drive waveform is scaled by s.
+        scales = np.array([1.0, 0.5, 0.25])
+        batched = BatchedCircuitSession(_rc_ladder(6)).simulate_batch(
+            2e-9, 1e-11, record=["n6"],
+            lane_overrides={"n6": np.zeros(3)},
+            lane_source_scale=scales,
+        )
+        for lane, s in enumerate(scales):
+            scaled = Circuit(name="scaled")
+            scaled.add(VoltageSource("V1", "n0", GND, step(0.0, 1.2 * float(s), 2e-10)))
+            for i in range(6):
+                scaled.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", 1e3))
+                scaled.add(Capacitor(f"C{i}", f"n{i + 1}", GND, 5e-14))
+            scalar = CircuitSession(scaled).simulate(
+                2e-9, 1e-11, record=["n6"], initial_overrides={"n6": 0.0}
+            )
+            gap = np.abs(batched["n6"][lane] - np.asarray(scalar["n6"])).max()
+            assert gap <= 1e-12, f"lane {lane}: {gap}"
+
+    def test_scaled_lane_cannot_fall_back_to_scalar_rescue(self, monkeypatch):
+        circuit, t_stop, vdd = _refresh_setup()
+        session = BatchedCircuitSession(circuit)
+
+        real = BatchedCircuitSession._newton_batch
+
+        def sabotaged(self, assembler, XP, t, dt, stats, source_scale=1.0):
+            XP_new, converged = real(
+                self, assembler, XP, t, dt, stats, source_scale
+            )
+            converged = converged.copy()
+            converged[1] = False
+            return XP_new, converged
+
+        monkeypatch.setattr(BatchedCircuitSession, "_newton_batch", sabotaged)
+        with pytest.raises(ConvergenceFallbackError, match="source scale"):
+            session.simulate_batch(
+                t_stop, 10e-12, record=["cell"],
+                lane_overrides={"cell": np.array([0.8, 0.9]) * vdd},
+                lane_source_scale=np.array([1.0, 0.9]),
+            )
+
+    def test_opaque_circuit_rejects_source_scale(self):
+        circuit = Circuit(name="opaque-scale")
+        circuit.add(_CubicChatter())
+        circuit.add(Resistor("R1", "a", GND, 1e6))
+        with pytest.raises(ValueError, match="compiled circuit"):
+            BatchedCircuitSession(circuit).simulate_batch(
+                1e-9, 1e-10, record=["a"],
+                lane_overrides={"a": np.array([-1.7])},
+                lane_source_scale=np.array([0.5]),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Per-lane failure isolation                                             #
+# --------------------------------------------------------------------- #
+
+
+class TestPerLaneFallback:
+    def test_failed_lane_retries_scalar_without_perturbing_neighbors(
+        self, monkeypatch
+    ):
+        circuit, t_stop, vdd = _refresh_setup()
+        starts = np.array([0.75, 0.85, 0.95]) * vdd
+        reference = BatchedCircuitSession(circuit).simulate_batch(
+            t_stop, 10e-12, record=["cell"], lane_overrides={"cell": starts}
+        )
+
+        real = BatchedCircuitSession._newton_batch
+
+        def sabotaged(self, assembler, XP, t, dt, stats, source_scale=1.0):
+            XP_new, converged = real(
+                self, assembler, XP, t, dt, stats, source_scale
+            )
+            if XP.shape[0] == 3:  # full batch: pretend lane 1 stalled
+                converged = converged.copy()
+                converged[1] = False
+            return XP_new, converged
+
+        monkeypatch.setattr(BatchedCircuitSession, "_newton_batch", sabotaged)
+        sabotaged_run = BatchedCircuitSession(circuit).simulate_batch(
+            t_stop, 10e-12, record=["cell"], lane_overrides={"cell": starts}
+        )
+        # Lane 1 went through the scalar per-lane path every step; its
+        # waveform must match a solo scalar session bit-for-bit.
+        scalar = CircuitSession(circuit).simulate(
+            t_stop, 10e-12, record=["cell"],
+            initial_overrides={"cell": float(starts[1])},
+        )
+        np.testing.assert_array_equal(
+            sabotaged_run["cell"][1], np.asarray(scalar["cell"])
+        )
+        # The healthy neighbors kept their batched solutions untouched.
+        np.testing.assert_array_equal(sabotaged_run["cell"][0], reference["cell"][0])
+        np.testing.assert_array_equal(sabotaged_run["cell"][2], reference["cell"][2])
+
+    def test_chattering_lane_rescued_via_gmin_neighbors_unperturbed(self):
+        # One lane starts at the cubic's Newton 2-cycle (IC 0) and needs
+        # the gmin ladder; its neighbors converge plainly and must be
+        # bit-identical to solo runs.
+        circuit = Circuit(name="chatter-batch")
+        circuit.add(_CubicChatter())
+        circuit.add(Resistor("R1", "a", GND, 1e6))
+        ics = np.array([-1.7, 0.0, -1.9])
+        batched = BatchedCircuitSession(circuit).simulate_batch(
+            1e-9, 1e-10, record=["a"], lane_overrides={"a": ics}
+        )
+        assert batched.stats.rescues >= 1
+        assert any(
+            report.stage == "gmin" and report.converged
+            for report in batched.stats.rescue_reports
+        )
+        # Every lane settles at the cubic's real root.
+        assert batched.final("a") == pytest.approx([-1.7692923542386314] * 3)
+        for lane in (0, 2):  # the healthy neighbors
+            scalar = CircuitSession(circuit).simulate(
+                1e-9, 1e-10, record=["a"],
+                initial_overrides={"a": float(ics[lane])},
+            )
+            np.testing.assert_array_equal(batched["a"][lane], np.asarray(scalar["a"]))
+
+
+# --------------------------------------------------------------------- #
+# Input validation                                                       #
+# --------------------------------------------------------------------- #
+
+
+class TestValidation:
+    def test_rejects_bad_horizon_and_step(self):
+        session = BatchedCircuitSession(_rc_ladder(2))
+        with pytest.raises(ValueError, match="must be positive"):
+            session.simulate_batch(
+                0.0, 1e-11, lane_overrides={"n2": np.array([0.0])}
+            )
+        with pytest.raises(ValueError, match="must be positive"):
+            session.simulate_batch(
+                1e-9, -1e-11, lane_overrides={"n2": np.array([0.0])}
+            )
+
+    def test_rejects_empty_and_mismatched_lanes(self):
+        session = BatchedCircuitSession(_rc_ladder(2))
+        with pytest.raises(ValueError, match="at least one node"):
+            session.simulate_batch(1e-9, 1e-11, lane_overrides={})
+        with pytest.raises(ValueError, match="no lanes"):
+            session.simulate_batch(
+                1e-9, 1e-11, lane_overrides={"n2": np.array([])}
+            )
+        with pytest.raises(ValueError, match="disagree on lane count"):
+            session.simulate_batch(
+                1e-9, 1e-11,
+                lane_overrides={"n1": np.zeros(2), "n2": np.zeros(3)},
+            )
+        with pytest.raises(ValueError, match="lane_source_scale has 3"):
+            session.simulate_batch(
+                1e-9, 1e-11,
+                lane_overrides={"n2": np.zeros(2)},
+                lane_source_scale=np.ones(3),
+            )
+
+    def test_rejects_ground_override_and_ground_record(self):
+        session = BatchedCircuitSession(_rc_ladder(2))
+        with pytest.raises(KeyError, match="ground"):
+            session.simulate_batch(
+                1e-9, 1e-11, lane_overrides={GND: np.array([0.1])}
+            )
+        with pytest.raises(KeyError, match="ground"):
+            session.simulate_batch(
+                1e-9, 1e-11, record=[GND],
+                lane_overrides={"n2": np.array([0.1])},
+            )

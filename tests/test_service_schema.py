@@ -88,7 +88,7 @@ class TestCanonicalKeys:
             query = Query(
                 kind=kind, tech=DEFAULT_TECH, rows=64, cols=8, policy="vrl",
                 benchmark=None, n_banks=4, mode="vrl", mechanism="raidr",
-                temperature=55.0,
+                temperature=55.0, start_lo=0.75, start_hi=0.95, n_points=4,
             )
             assert tuple(query.params()) == KIND_PARAMS[kind]
 
