@@ -29,6 +29,9 @@ BENCH_SERVICE_JSON = Path(__file__).parent / "BENCH_service.json"
 #: The committed calibration trajectory file (lanes per second).
 BENCH_CALIBRATION_JSON = Path(__file__).parent / "BENCH_calibration.json"
 
+#: The committed mechanism-matrix trajectory file (row-intervals / cells per second).
+BENCH_MECHANISMS_JSON = Path(__file__).parent / "BENCH_mechanisms.json"
+
 
 def scalar_reference(policy, timing, duration_cycles):
     """The pre-refactor fastpath: one ``refresh_row`` call per deadline."""
@@ -77,6 +80,11 @@ def record_service_bench(section, entry):
 def record_calibration_bench(section, entry):
     """Merge one calibration benchmark's numbers into ``BENCH_calibration.json``."""
     _merge_bench(BENCH_CALIBRATION_JSON, section, entry)
+
+
+def record_mechanisms_bench(section, entry):
+    """Merge one mechanism benchmark's numbers into ``BENCH_mechanisms.json``."""
+    _merge_bench(BENCH_MECHANISMS_JSON, section, entry)
 
 
 def _merge_bench(path, section, entry):

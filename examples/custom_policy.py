@@ -37,6 +37,7 @@ from repro import (
     VRLAccessPolicy,
     build_policy,
 )
+from repro.controller import MECHANISMS
 from repro.workloads import PARSEC_WORKLOADS, TraceGenerator
 
 
@@ -61,6 +62,31 @@ class VRLTempPolicy(VRLAccessPolicy):
             self.rcount.reset(row)
             return RefreshCommand(row, RefreshKind.FULL, self.tau_full)
         return super().refresh_row(row)
+
+
+def _build_vrl_temp(tech, profile, binning, nbits):
+    """Registry builder: standard MPRSF construction, custom policy class."""
+    base = build_policy("vrl-access", tech, profile, binning, nbits=nbits)
+    return VRLTempPolicy(
+        binning,
+        base.mprsf.values,
+        tau_full=base.tau_full,
+        tau_partial=base.tau_partial,
+        nbits=base.nbits,
+    )
+
+
+# Registering makes the custom policy a first-class mechanism: it shows
+# up in `vrl-dram mechanisms` / `--mechanisms` and builds through
+# `build_policy("vrl-temp", ...)` like the in-tree ones.  `replace=True`
+# keeps repeated imports of this example module idempotent.
+MECHANISMS.register(
+    "vrl-temp",
+    _build_vrl_temp,
+    description="VRL-Access with a thermal kill-switch (this example)",
+    policy=VRLTempPolicy,
+    replace=True,
+)
 
 
 def main() -> None:

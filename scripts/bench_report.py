@@ -20,10 +20,22 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 
 
-def _fmt_rate(value: float) -> str:
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _fmt_rate(value) -> str:
+    if not _is_number(value):
+        return str(value)
     if value >= 1000:
         return f"{value:,.0f}/s"
     return f"{value:,.1f}/s"
+
+
+def _fmt_speedup(value) -> str:
+    if not _is_number(value):
+        return str(value)
+    return f"{value:.2f}x"
 
 
 def collect(bench_dir: Path) -> list[dict]:
@@ -44,13 +56,19 @@ def collect(bench_dir: Path) -> list[dict]:
             unit = ""
             speedups = {}
             scalars = {}
+            # Sections recorded by different PRs carry different key
+            # sets: several ``*_per_s`` groups, bare scalar rates, or
+            # none at all — merge what is there instead of assuming one
+            # canonical shape.
             for key, value in entry.items():
                 if key.endswith("_per_s") and isinstance(value, dict):
-                    unit = key[: -len("_per_s")].replace("_", " ")
-                    rates = value
+                    unit = unit or key[: -len("_per_s")].replace("_", " ")
+                    rates.update(value)
+                elif key.endswith("_per_s") and _is_number(value):
+                    rates[key[: -len("_per_s")].replace("_", " ")] = value
                 elif "speedup" in key or "overhead" in key:
                     speedups[key] = value
-                elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                elif _is_number(value):
                     scalars[key] = value
             rows.append(
                 {
@@ -73,13 +91,15 @@ def render(rows: list[dict]) -> str:
     for row in rows:
         rates = ", ".join(
             f"{name} {_fmt_rate(rate)}"
-            for name, rate in sorted(row["rates"].items())
+            for name, rate in sorted(row["rates"].items(), key=lambda kv: str(kv[0]))
         )
         if rates and row["unit"]:
             rates = f"[{row['unit']}] {rates}"
         speedup = ", ".join(
-            f"{key} {value:.2f}x"
-            for key, value in sorted(row["speedups"].items())
+            f"{key} {_fmt_speedup(value)}"
+            for key, value in sorted(
+                row["speedups"].items(), key=lambda kv: str(kv[0])
+            )
         )
         table.append((f"{row['area']}:{row['section']}", rates or "-", speedup or "-"))
     widths = [max(len(line[col]) for line in table) for col in range(3)]

@@ -54,8 +54,13 @@ from .retention import (
 )
 from .mprsf import MPRSFCalculator, TauPartialOptimizer
 from .controller import (
+    AVATARPolicy,
+    ChargeCachePolicy,
+    DARPPolicy,
     FGRPolicy,
     FixedRefreshPolicy,
+    MECHANISMS,
+    MechanismRegistry,
     RAIDRPolicy,
     RefreshCommand,
     RefreshKind,
@@ -108,8 +113,13 @@ __all__ = [
     "RetentionProfiler",
     "MPRSFCalculator",
     "TauPartialOptimizer",
+    "AVATARPolicy",
+    "ChargeCachePolicy",
+    "DARPPolicy",
     "FGRPolicy",
     "FixedRefreshPolicy",
+    "MECHANISMS",
+    "MechanismRegistry",
     "RAIDRPolicy",
     "RefreshCommand",
     "RefreshKind",

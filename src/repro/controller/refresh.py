@@ -37,8 +37,6 @@ from typing import Callable
 
 import numpy as np
 
-from ..model.trfc import RefreshLatencyModel
-from ..mprsf.calculator import MPRSFCalculator
 from ..retention.binning import BinningResult
 from ..retention.profiler import RetentionProfile
 from ..technology import TechnologyParams
@@ -135,6 +133,23 @@ class RefreshPolicy:
     """Base class: every refresh is full, every row at one fixed period."""
 
     name = "base"
+
+    #: Does the mechanism's benefit only materialize against a demand
+    #: trace?  (Registry capability flag; refresh-only runs price such
+    #: policies like their conventional base.)
+    needs_trace = False
+
+    #: May the simulators defer a due refresh past colliding reads (the
+    #: DARP idle-window arbitration in :mod:`repro.sim.schedule`)?
+    reorders_refresh = False
+
+    #: Does the policy adjust demand-access latencies through
+    #: :meth:`access_latency_cycles`?
+    modulates_access = False
+
+    #: How far past its deadline a deferred refresh may be pushed, in
+    #: cycles.  Only consulted when ``reorders_refresh`` is true.
+    refresh_slack_cycles = 0
 
     def __init__(self, n_rows: int, tau_full: int, period: float = CONVENTIONAL_PERIOD):
         if n_rows <= 0:
@@ -295,6 +310,27 @@ class RefreshPolicy:
         """Notify the policy that ``row`` was activated by a read/write."""
         self._check_row(row)
         self._on_access_batch(np.array([row], dtype=np.int64))
+
+    def access_latency_cycles(
+        self, row: int, base_cycles: int, row_hit: bool, cycle: int
+    ) -> int:
+        """Service latency (cycles) the simulators should charge an access.
+
+        The access-latency hook of access-modulating mechanisms
+        (``modulates_access``): the simulators compute the bank's base
+        hit/miss/conflict latency and, for such policies, route it
+        through here before serving the request — ChargeCache returns a
+        discounted activation for still-charged rows, the base policy
+        returns ``base_cycles`` unchanged.  Called before
+        :meth:`on_access`, once per demand request, with the request's
+        arrival ``cycle``; implementations may keep time-stamped state
+        (this is the only policy entry point that sees the clock).
+        Must return a positive cycle count and must not affect refresh
+        decisions — refresh statistics stay identical whether or not
+        the hook is consulted.
+        """
+        self._check_row(row)
+        return base_cycles
 
     def reset(self) -> None:
         """Clear mutable state (counters) for a fresh simulation."""
@@ -469,6 +505,7 @@ class VRLAccessPolicy(VRLPolicy):
     """
 
     name = "vrl-access"
+    needs_trace = True
 
     def _on_access_batch(self, rows: np.ndarray) -> None:
         self.rcount.reset_rows(rows)
@@ -487,31 +524,22 @@ def build_policy(
 ) -> RefreshPolicy:
     """Factory wiring a policy from the model and a retention profile.
 
+    A thin dispatch over the mechanism registry
+    (:data:`repro.controller.registry.MECHANISMS`): any registered
+    mechanism name builds here, and the result is bit-identical to
+    calling the registered builder (or the policy constructor)
+    directly — invariant 15.
+
     Args:
-        name: one of ``"fixed"``, ``"raidr"``, ``"vrl"``, ``"vrl-access"``.
+        name: a registered mechanism name (``"fixed"``, ``"raidr"``,
+            ``"vrl"``, ``"vrl-access"``, ``"fgr-2x"``, ``"darp"``, ...);
+            unknown names raise a ``ValueError`` listing the registry.
         tech: technology parameters (latencies come from the analytical
             model).
         profile: the bank's retention profile.
         binning: RAIDR bin assignment for the same profile.
         nbits: counter width for the VRL variants.
     """
-    model = RefreshLatencyModel(tech, profile.geometry)
-    tau_full = model.full_refresh().total_cycles
-    if name == "fixed":
-        return FixedRefreshPolicy(profile.geometry.rows, tau_full)
-    if name == "raidr":
-        return RAIDRPolicy(binning, tau_full)
-    if name in ("vrl", "vrl-access"):
-        partial = model.partial_refresh()
-        calculator = MPRSFCalculator(tech, profile.geometry, model)
-        mprsf = calculator.mprsf_for_rows(
-            profile.row_retention,
-            binning.row_period,
-            partial_timing=partial,
-            max_count=(1 << nbits) - 1,
-        )
-        cls = VRLPolicy if name == "vrl" else VRLAccessPolicy
-        return cls(binning, mprsf, tau_full, partial.total_cycles, nbits)
-    raise ValueError(
-        f"unknown policy {name!r}; expected fixed, raidr, vrl, or vrl-access"
-    )
+    from .registry import MECHANISMS
+
+    return MECHANISMS.build(name, tech, profile, binning, nbits=nbits)

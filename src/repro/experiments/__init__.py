@@ -40,6 +40,7 @@ from .fig3 import run_fig3
 from .fig4 import run_fig4
 from .fig5 import run_fig5
 from .latencies import run_latency_breakdown
+from .mechanisms_study import run_mechanism_matrix
 from .performance_study import run_performance_study
 from .rank_study import run_rank_comparison
 from .result import ExperimentResult
@@ -69,4 +70,5 @@ __all__ = [
     "run_calibration_study",
     "run_performance_study",
     "run_baseline_comparison",
+    "run_mechanism_matrix",
 ]

@@ -11,7 +11,8 @@ Examples::
 
 Every experiment dispatches through the service layer
 (:mod:`repro.service`): the sweep verbs (``fig4``, ``performance``,
-``rank``, ``baselines``, ``temperature``) submit typed queries to a
+``rank``, ``baselines``, ``mechanisms``, ``temperature``) submit typed
+queries to a
 client — by default an in-process one built from ``--jobs`` /
 ``--cache-dir`` / ``--no-cache``, or, with ``--connect host:port``, a
 running ``vrl-dram serve`` instance shared by many clients.  Results
@@ -106,6 +107,19 @@ def _client_for(args: argparse.Namespace):
     return LocalClient(runner=_runner_for(args))
 
 
+def _mechanism_names() -> list[str]:
+    """Registered mechanism names, straight from the registry.
+
+    The CLI's ``--mechanisms`` choices and error messages are driven by
+    :data:`~repro.controller.MECHANISMS`, so a mechanism registered at
+    runtime (e.g. by ``examples/custom_policy.py``) is immediately
+    accepted without touching the CLI.
+    """
+    from ..controller import MECHANISMS
+
+    return MECHANISMS.names()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for the tests)."""
     parser = argparse.ArgumentParser(
@@ -121,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--duration", type=float, default=1.0, help="fig4: seconds of simulated time")
     parser.add_argument(
         "--benchmarks", nargs="*", default=None, help="fig4: subset of benchmark names"
+    )
+    parser.add_argument(
+        "--mechanisms",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="mechanisms: subset of registered mechanism names "
+        f"(registered: {', '.join(_mechanism_names())})",
     )
     parser.add_argument("--nbits", type=int, default=2, help="fig4: counter width")
     parser.add_argument("--seed", type=int, default=2018, help="profiling/trace RNG seed")
@@ -244,6 +266,14 @@ def _validate_args(args: argparse.Namespace) -> Optional[str]:
             parse_faults(args.chaos)
         except ValueError as exc:
             return f"--chaos: {exc}"
+    if args.mechanisms:
+        registered = _mechanism_names()
+        unknown = sorted(set(args.mechanisms) - set(registered))
+        if unknown:
+            return (
+                f"--mechanisms: unknown {', '.join(unknown)}; "
+                f"registered: {', '.join(registered)}"
+            )
     if args.connect is not None:
         if args.experiment == "serve":
             return "--connect cannot be combined with the serve verb"

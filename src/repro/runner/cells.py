@@ -295,6 +295,77 @@ def _temperature_point_cell(params: Mapping[str, Any]) -> dict:
     }
 
 
+def _mechanism_matrix_cell(params: Mapping[str, Any]) -> dict:
+    """One (mechanism, workload, temperature, capacity) point of the matrix.
+
+    Cycle-level engine run of a registry-built mechanism on a
+    temperature-scaled retention profile.  Params: ``tech``, ``rows``,
+    ``cols``, ``mechanism`` (a :data:`~repro.controller.MECHANISMS`
+    name), ``nbits``, ``benchmark`` (``None`` = refresh-only),
+    ``temperature`` (degC), ``seed``, ``duration_seconds``.
+    """
+    from ..controller import MECHANISMS
+
+    frozen = _freeze(params["tech"])
+    tech = _tech(frozen)
+    timing = DRAMTiming.from_technology(tech)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    base_profile, _ = _profile_binning(frozen, rows, cols, int(params["seed"]))
+    temperature = float(params["temperature"])
+    profile = TemperatureModel().scale_profile(base_profile, temperature)
+    binning = RefreshBinning().assign(profile)
+    mechanism = params["mechanism"]
+    policy = MECHANISMS.build(
+        mechanism, tech, profile, binning, nbits=int(params["nbits"])
+    )
+    info = MECHANISMS.get(mechanism)
+    duration_cycles = timing.cycles(float(params["duration_seconds"]))
+    trace = (
+        _trace(frozen, rows, cols, params["benchmark"], int(params["seed"]),
+               float(params["duration_seconds"]))
+        if params.get("benchmark")
+        else None
+    )
+    result = BankSimulator(policy, timing, BankGeometry(rows, cols)).run(
+        trace=trace, duration_cycles=duration_cycles
+    )
+    payload = {
+        "name": policy.name,
+        "flags": {
+            "needs_trace": info.needs_trace,
+            "reorders_refresh": info.reorders_refresh,
+            "modulates_access": info.modulates_access,
+        },
+        "refresh": {
+            "full_refreshes": result.refresh.full_refreshes,
+            "partial_refreshes": result.refresh.partial_refreshes,
+            "refresh_cycles": result.refresh.refresh_cycles,
+            "duration_cycles": result.refresh.duration_cycles,
+        },
+        "requests": {
+            "n_requests": result.requests.n_requests,
+            "row_hits": result.requests.row_hits,
+            "total_latency_cycles": result.requests.total_latency_cycles,
+            "refresh_stall_cycles": result.requests.refresh_stall_cycles,
+        },
+    }
+    # Mechanism-specific diagnostics ride along when the policy has them
+    # (ChargeCache hit tracking, AVATAR profiling outcomes).
+    if hasattr(policy, "hit_rate"):
+        payload["cache"] = {
+            "lookups": policy.lookups,
+            "hits": policy.hits,
+            "hit_rate": policy.hit_rate,
+        }
+    if hasattr(policy, "upgraded_rows"):
+        payload["profiling"] = {
+            "upgraded_rows": policy.upgraded_rows,
+            "pinned_rows": policy.pinned_rows,
+            "windows": policy.profiling_windows,
+        }
+    return payload
+
+
 @lru_cache(maxsize=8)
 def _optimizer(frozen_tech: tuple, rows: int, cols: int) -> TauPartialOptimizer:
     """One optimizer (and its compiled circuit sessions) per bank.
@@ -342,6 +413,7 @@ CELL_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
     "engine-run": _engine_run_cell,
     "rank-mode": _rank_mode_cell,
     "baseline-mechanism": _baseline_mechanism_cell,
+    "mechanism-matrix": _mechanism_matrix_cell,
     "temperature-point": _temperature_point_cell,
     "calibration-sweep": _calibration_sweep_cell,
 }
@@ -356,6 +428,7 @@ RESULT_SCHEMAS: dict[str, int] = {
     "engine-run": 1,
     "rank-mode": 1,
     "baseline-mechanism": 1,
+    "mechanism-matrix": 1,
     "temperature-point": 1,
     "calibration-sweep": 1,
 }

@@ -19,6 +19,7 @@ from typing import Any, Mapping
 EXPERIMENT_DEFAULTS: dict[str, Any] = {
     "duration": 1.0,
     "benchmarks": None,
+    "mechanisms": None,
     "nbits": 2,
     "seed": 2018,
     "spice": True,
@@ -26,7 +27,8 @@ EXPERIMENT_DEFAULTS: dict[str, Any] = {
 
 #: Verbs whose drivers sweep through the service client.
 SWEEP_EXPERIMENTS = (
-    "fig4", "performance", "rank", "baselines", "temperature", "calibrate",
+    "fig4", "performance", "rank", "baselines", "mechanisms", "temperature",
+    "calibrate",
 )
 
 #: Every registered experiment verb, in CLI ``choices`` order.
@@ -47,6 +49,7 @@ EXPERIMENT_NAMES = (
     "rank",
     "validate",
     "baselines",
+    "mechanisms",
     "temperature",
     "calibrate",
     "performance",
@@ -97,6 +100,20 @@ def run_experiment(
         "validate": lambda: exp.run_validation(),
         "baselines": lambda: exp.run_baseline_comparison(
             duration_seconds=opts["duration"], seed=opts["seed"], client=client
+        ),
+        "mechanisms": lambda: exp.run_mechanism_matrix(
+            **(
+                {"mechanisms": opts["mechanisms"]} if opts["mechanisms"] else {}
+            ),
+            **(
+                {"benchmarks": opts["benchmarks"]} if opts["benchmarks"] else {}
+            ),
+            # The matrix runs every point on the cycle-level engine;
+            # cap the horizon so `--all` stays tractable.
+            duration_seconds=min(opts["duration"], 0.2),
+            nbits=opts["nbits"],
+            seed=opts["seed"],
+            client=client,
         ),
         "temperature": lambda: exp.run_temperature_study(
             seed=opts["seed"], client=client

@@ -52,6 +52,10 @@ KIND_PARAMS: dict[str, tuple[str, ...]] = {
         "tech", "rows", "cols", "mechanism", "benchmark", "seed",
         "duration_seconds",
     ),
+    "mechanism-matrix": (
+        "tech", "rows", "cols", "mechanism", "nbits", "benchmark",
+        "temperature", "seed", "duration_seconds",
+    ),
     "temperature-point": ("tech", "rows", "cols", "temperature", "seed"),
     "calibration-sweep": (
         "tech", "rows", "cols", "restore_fraction", "start_lo", "start_hi",
@@ -65,6 +69,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "engine-run": ("policy",),
     "rank-mode": ("n_banks", "mode"),
     "baseline-mechanism": ("mechanism",),
+    "mechanism-matrix": ("mechanism", "temperature"),
     "temperature-point": ("temperature",),
     "calibration-sweep": ("start_lo", "start_hi", "n_points"),
 }
@@ -150,6 +155,11 @@ class Query:
             return f"rank/{self.mode}"
         if self.kind == "baseline-mechanism":
             return f"baseline/{self.mechanism}"
+        if self.kind == "mechanism-matrix":
+            return (
+                f"matrix/{self.mechanism}/{self.benchmark or 'refresh-only'}"
+                f"/{self.temperature:.0f}C/{self.rows}r"
+            )
         if self.kind == "calibration-sweep":
             target = (
                 "default"

@@ -58,24 +58,45 @@ class Bank:
         if not 0 <= row < self.geometry.rows:
             raise IndexError(f"row {row} out of range [0, {self.geometry.rows})")
 
-    def service(self, arrival_cycle: int, row: int) -> ServiceOutcome:
+    def peek_service(self, row: int) -> tuple[int, bool]:
+        """``(latency_cycles, row_hit)`` the next service of ``row`` would pay.
+
+        Non-mutating preview of the hit/miss/conflict outcome, used by
+        the simulators to consult an access-modulating policy's
+        :meth:`~repro.controller.refresh.RefreshPolicy.access_latency_cycles`
+        hook before committing the service.
+        """
+        self._check_row(row)
+        if self.open_row == row:
+            return self.timing.row_hit_latency, True
+        if self.open_row is None:
+            return self.timing.row_miss_latency, False
+        return self.timing.row_conflict_latency, False
+
+    def service(
+        self,
+        arrival_cycle: int,
+        row: int,
+        latency_cycles: Optional[int] = None,
+    ) -> ServiceOutcome:
         """Serve a demand request to ``row`` arriving at ``arrival_cycle``.
 
         The request waits for the bank to go idle, then pays the
         hit/miss/conflict latency; the bank is occupied for that whole
         window (single in-flight request — FCFS, no command pipelining).
+        ``latency_cycles`` overrides the service window (the seam for
+        access-modulating mechanisms like ChargeCache); the row-buffer
+        state transition is identical either way.
         """
         self._check_row(row)
         start = max(arrival_cycle, self.busy_until)
-        if self.open_row == row:
-            latency = self.timing.row_hit_latency
-            hit = True
-        elif self.open_row is None:
-            latency = self.timing.row_miss_latency
-            hit = False
-        else:
-            latency = self.timing.row_conflict_latency
-            hit = False
+        latency, hit = self.peek_service(row)
+        if latency_cycles is not None:
+            if latency_cycles <= 0:
+                raise ValueError(
+                    f"service latency must be positive, got {latency_cycles}"
+                )
+            latency = int(latency_cycles)
         self.open_row = row
         finish = start + latency
         self.busy_until = finish

@@ -27,7 +27,12 @@ import numpy as np
 from ..controller.refresh import RefreshPolicy
 from ..technology import BankGeometry, DEFAULT_GEOMETRY
 from .bank import Bank
-from .schedule import first_deadlines, period_cycles, refresh_wins_tie
+from .schedule import (
+    first_deadlines,
+    period_cycles,
+    refresh_wins_tie,
+    should_defer_refresh,
+)
 from .stats import RefreshStats, RequestStats
 from .timing import DRAMTiming
 from .trace import MemoryTrace
@@ -77,6 +82,21 @@ class BankSimulator:
                 f"geometry rows {self.geometry.rows} != policy rows {policy.n_rows}"
             )
         self.bank = Bank(timing, self.geometry)
+
+    def _service(self, arrival: int, row: int):
+        """Serve one request, consulting an access-modulating policy.
+
+        Mechanisms with the ``modulates_access`` capability flag
+        (ChargeCache) see the hit/miss/conflict latency the bank would
+        charge and may replace it through
+        :meth:`~repro.controller.refresh.RefreshPolicy.access_latency_cycles`;
+        everything else takes the unmodified bank path.
+        """
+        if not self.policy.modulates_access:
+            return self.bank.service(arrival, row)
+        base, hit = self.bank.peek_service(row)
+        adjusted = int(self.policy.access_latency_cycles(row, base, hit, arrival))
+        return self.bank.service(arrival, row, latency_cycles=adjusted)
 
     def _initial_refresh_heap(self) -> tuple[list[tuple[int, int]], np.ndarray]:
         """(due_cycle, row) heap of first deadlines, plus per-row periods.
@@ -144,6 +164,10 @@ class BankSimulator:
 
         n_requests = len(trace) if trace is not None else 0
         request_index = 0
+        reorders = self.policy.reorders_refresh
+        slack = int(self.policy.refresh_slack_cycles)
+        # Deferral decisions plan against the worst-case (full) window.
+        plan_latency = int(self.policy.kind_latencies[0])
 
         while True:
             next_refresh_due = heap[0][0] if heap else None
@@ -159,9 +183,22 @@ class BankSimulator:
 
             # Earliest event first; refresh wins ties (the shared
             # arbitration rule in sim/schedule.py).
-            if do_refresh and (
+            service_refresh = do_refresh and (
                 not do_request or refresh_wins_tie(next_refresh_due, next_request_at)
-            ):
+            )
+            if service_refresh and reorders and do_request:
+                # Reordering mechanisms (DARP) yield the slot to a
+                # colliding read within the slack budget, pushing the
+                # refresh into the first idle window instead.
+                start = max(next_refresh_due, self.bank.busy_until)
+                service_refresh = not should_defer_refresh(
+                    start,
+                    plan_latency,
+                    next_request_at,
+                    bool(trace.is_write[request_index]),
+                    next_refresh_due + slack,
+                )
+            if service_refresh:
                 due, row = heapq.heappop(heap)
                 command = self.policy.refresh_row(row)
                 self.bank.refresh(due, command.latency_cycles)
@@ -178,7 +215,7 @@ class BankSimulator:
                 request_index += 1
                 stall = max(0, self.bank.busy_until - arrival)
                 refresh_stall = stall if last_busy_was_refresh else 0
-                outcome = self.bank.service(arrival, row)
+                outcome = self._service(arrival, row)
                 self.policy.on_access(row)
                 request_stats.record(
                     is_write, outcome.latency_cycles, outcome.row_hit, refresh_stall

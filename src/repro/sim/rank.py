@@ -42,6 +42,7 @@ from .schedule import (
     first_deadlines,
     period_cycles,
     refresh_wins_tie,
+    should_defer_refresh,
 )
 from .stats import RefreshStats, RequestStats
 from .timeline import service_starts, union_length
@@ -317,10 +318,31 @@ class RankSimulator:
 
     def _serve_request(self, bank_index, arrival, row, is_write, request_stats):
         bank = self.banks[bank_index]
+        policy = self.policies[bank_index]
         stall = max(0, bank.busy_until - arrival)
-        outcome = bank.service(arrival, row)
-        self.policies[bank_index].on_access(row)
+        if policy.modulates_access:
+            base, hit = bank.peek_service(row)
+            adjusted = int(policy.access_latency_cycles(row, base, hit, arrival))
+            outcome = bank.service(arrival, row, latency_cycles=adjusted)
+        else:
+            outcome = bank.service(arrival, row)
+        policy.on_access(row)
         request_stats.record(is_write, outcome.latency_cycles, outcome.row_hit, stall)
+
+    def _next_bank_read(self, bank_index, request_index, read_arrivals, read_ptrs):
+        """Arrival cycle of ``bank_index``'s next unserved *read*, or ``None``.
+
+        ``read_arrivals[bank_index]`` holds the sorted (request_index,
+        arrival) pairs of the bank's reads; the lazy pointer advances
+        monotonically past already-served requests, so the scan is
+        amortized O(1) per arbitration.
+        """
+        indices, arrivals = read_arrivals[bank_index]
+        ptr = read_ptrs[bank_index]
+        while ptr < len(indices) and indices[ptr] < request_index:
+            ptr += 1
+        read_ptrs[bank_index] = ptr
+        return int(arrivals[ptr]) if ptr < len(indices) else None
 
     def _run_per_bank(
         self, trace, banks_for_requests, duration_cycles, refresh_stats,
@@ -329,6 +351,26 @@ class RankSimulator:
         heap, periods_by_bank = self._per_bank_heap()
         n_requests = len(trace) if trace is not None else 0
         request_index = 0
+        # Per-bank deferral state for reordering mechanisms (DARP): the
+        # sorted read arrivals of each reordering bank, a lazy pointer
+        # past served requests, and the policy's planning latency/slack.
+        any_reorders = any(p.reorders_refresh for p in self.policies)
+        read_arrivals = {}
+        read_ptrs = {}
+        plan_latency = {}
+        slack = {}
+        if any_reorders and n_requests:
+            for bank_index, policy in enumerate(self.policies):
+                if not policy.reorders_refresh:
+                    continue
+                mask = (banks_for_requests == bank_index) & ~trace.is_write
+                indices = np.nonzero(mask)[0].astype(np.int64)
+                read_arrivals[bank_index] = (
+                    indices, trace.cycles[indices].astype(np.int64)
+                )
+                read_ptrs[bank_index] = 0
+                plan_latency[bank_index] = int(policy.kind_latencies[0])
+                slack[bank_index] = int(policy.refresh_slack_cycles)
         while True:
             next_due = heap[0][0] if heap else None
             next_req = (
@@ -338,7 +380,26 @@ class RankSimulator:
             do_req = next_req is not None and next_req < duration_cycles
             if not do_ref and not do_req:
                 break
-            if do_ref and (not do_req or refresh_wins_tie(next_due, next_req)):
+            service_refresh = do_ref and (
+                not do_req or refresh_wins_tie(next_due, next_req)
+            )
+            if service_refresh and do_req:
+                bank_index = heap[0][1]
+                if bank_index in read_ptrs:
+                    # DARP arbitration: the due bank yields to its own
+                    # colliding pending read within the slack budget;
+                    # the rank then serves the globally next request
+                    # (FCFS), which may target another bank.
+                    read_at = self._next_bank_read(
+                        bank_index, request_index, read_arrivals, read_ptrs
+                    )
+                    start = max(next_due, self.banks[bank_index].busy_until)
+                    if should_defer_refresh(
+                        start, plan_latency[bank_index], read_at, False,
+                        next_due + slack[bank_index],
+                    ):
+                        service_refresh = False
+            if service_refresh:
                 due, bank_index, row = heapq.heappop(heap)
                 command = self.policies[bank_index].refresh_row(row)
                 outcome = self.banks[bank_index].refresh(due, command.latency_cycles)

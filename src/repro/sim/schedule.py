@@ -22,7 +22,14 @@ engine-vs-fastpath harness pins all consumers to it:
   the *next* interval;
 * **all-bank REF pacing** — the JEDEC baseline's command interval and
   tRFC derive from :data:`CONVENTIONAL_PERIOD` and
-  :data:`ALL_BANK_ROWS_PER_REF` here, not from per-simulator literals.
+  :data:`ALL_BANK_ROWS_PER_REF` here, not from per-simulator literals;
+* **out-of-order deferral** — mechanisms whose ``reorders_refresh``
+  capability flag is set (DARP) override the tie rule through
+  :func:`should_defer_refresh`: a due refresh yields to colliding
+  latency-critical reads within the policy's postpone slack and fills
+  the first idle window instead, while posted writes never defer it
+  (write-drain overlap).  Deferral moves refreshes in time only —
+  counts, kinds, and latencies stay identical to in-order issue.
 
 Periods are quantized to controller cycles through
 :meth:`~repro.sim.timing.DRAMTiming.cycles` on the *unique* period
@@ -49,6 +56,7 @@ __all__ = [
     "period_cycles",
     "refresh_wins_tie",
     "row_deadlines",
+    "should_defer_refresh",
     "window_deadline_counts",
 ]
 
@@ -183,6 +191,49 @@ def refresh_wins_tie(refresh_due: int, request_at: Optional[int]) -> bool:
             request, or ``None`` if there is none to arbitrate against.
     """
     return request_at is None or refresh_due <= request_at
+
+
+def should_defer_refresh(
+    start_cycle: int,
+    latency_cycles: int,
+    read_at: Optional[int],
+    read_is_write: bool,
+    defer_limit: int,
+) -> bool:
+    """Out-of-order arbitration for reordering mechanisms (DARP).
+
+    Called only when :func:`refresh_wins_tie` already awarded the slot
+    to the refresh: a ``reorders_refresh`` controller overrides that
+    award and serves the pending demand request first when the bank's
+    next *read* would collide with the refresh window — i.e. it arrives
+    before ``start_cycle + latency_cycles``, where ``start_cycle`` is
+    when the refresh would actually occupy the bank
+    (``max(due, busy_until)``) — and slack remains (the read arrives
+    strictly before ``defer_limit``, the deadline plus the policy's
+    postpone budget).  Re-evaluated after every served request, the rule
+    pushes the refresh forward until either an **idle window** at least
+    one refresh long opens up (no colliding read) or the slack is
+    exhausted, at which point the refresh is issued unconditionally —
+    deferral changes *when* a refresh runs, never whether it runs, so
+    refresh statistics are reorder-invariant.
+
+    Pending *writes* never defer a refresh (``read_is_write``): writes
+    are posted and tolerate latency, so the refresh proceeds under the
+    write drain — DARP's write-refresh parallelization.
+
+    Args:
+        start_cycle: cycle the refresh would start if issued now.
+        latency_cycles: the refresh's planned blocking window.
+        read_at: arrival of the bank's earliest pending demand request,
+            ``None`` when the bank has none.
+        read_is_write: whether that request is a (posted) write.
+        defer_limit: latest arrival a yielded-to read may have — the
+            original deadline plus the policy's
+            ``refresh_slack_cycles``.
+    """
+    if read_at is None or read_is_write:
+        return False
+    return read_at < start_cycle + latency_cycles and read_at < defer_limit
 
 
 def all_bank_ref_interval(timing: DRAMTiming, rows: int) -> int:

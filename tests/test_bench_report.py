@@ -66,6 +66,43 @@ class TestCollect:
         with pytest.raises(SystemExit, match="malformed"):
             report.collect(tmp_path)
 
+    def test_heterogeneous_keys_tolerated(self, report, tmp_path):
+        """Sections from different PRs mix shapes; none may crash the report.
+
+        Scalar ``*_per_s`` rates, several rate groups in one section,
+        non-numeric speedup annotations, and sections with no rates at
+        all must flatten and render.
+        """
+        (tmp_path / "BENCH_mixed.json").write_text(
+            json.dumps(
+                {
+                    "mixed/scalar-rate": {
+                        "cells_per_s": 123.4,
+                        "speedup_vs_loop": "n/a (first recording)",
+                    },
+                    "mixed/two-groups": {
+                        "rows_per_s": {"loop": 10.0},
+                        "points_per_s": {"batched": 9000.0},
+                        "speedup_batched_vs_loop": 900.0,
+                    },
+                    "mixed/no-metrics": {"note": "descriptive only"},
+                }
+            )
+        )
+        rows = report.collect(tmp_path)
+        by_section = {row["section"]: row for row in rows}
+        assert by_section["mixed/scalar-rate"]["rates"] == {"cells": 123.4}
+        assert by_section["mixed/two-groups"]["rates"] == {
+            "loop": 10.0,
+            "batched": 9000.0,
+        }
+        assert by_section["mixed/two-groups"]["unit"] == "rows"
+        assert by_section["mixed/no-metrics"]["rates"] == {}
+        text = report.render(rows)
+        assert "n/a (first recording)" in text
+        assert "900.00x" in text
+        assert "mixed:mixed/no-metrics" in text
+
 
 class TestRender:
     def test_table_contains_every_section(self, report):

@@ -19,6 +19,11 @@ TINY_FLAGS = {
     "fig4": ["--duration", "0.02", "--benchmarks", "blackscholes"],
     "performance": ["--duration", "0.02", "--benchmarks", "swaptions"],
     "baselines": ["--duration", "0.05"],
+    "mechanisms": [
+        "--duration", "0.02",
+        "--benchmarks", "blackscholes",
+        "--mechanisms", "fixed", "darp", "chargecache",
+    ],
 }
 
 

@@ -24,6 +24,9 @@ from hypothesis import strategies as st
 
 from repro.controller import (
     KIND_PARTIAL,
+    AVATARPolicy,
+    ChargeCachePolicy,
+    DARPPolicy,
     FGRPolicy,
     FixedRefreshPolicy,
     RAIDRPolicy,
@@ -32,9 +35,20 @@ from repro.controller import (
     VRLPolicy,
 )
 from repro.retention import BinningResult
+from repro.retention.profiler import RetentionProfile
+from repro.technology import BankGeometry
 from repro.units import MS
 
-POLICY_NAMES = ("fixed", "raidr", "vrl", "vrl-access", "fgr-2x")
+POLICY_NAMES = (
+    "fixed",
+    "raidr",
+    "vrl",
+    "vrl-access",
+    "fgr-2x",
+    "darp",
+    "chargecache",
+    "avatar",
+)
 
 AVAILABLE_PERIODS = (64 * MS, 128 * MS, 192 * MS, 256 * MS)
 
@@ -51,9 +65,24 @@ def _make_policy(name, rng, n_rows, nbits):
         return FixedRefreshPolicy(n_rows, tau_full)
     if name == "fgr-2x":
         return FGRPolicy(n_rows, tau_full, mode=2)
+    if name == "darp":
+        return DARPPolicy(n_rows, tau_full, max_defer_cycles=int(rng.integers(0, 5000)))
+    if name == "chargecache":
+        return ChargeCachePolicy(
+            n_rows, tau_full, discount_cycles=4, lifetime_cycles=1000, capacity=8
+        )
     binning = _binning(rng, n_rows)
     if name == "raidr":
         return RAIDRPolicy(binning, tau_full)
+    if name == "avatar":
+        # Retention comfortably above every bin: the profiling loop is
+        # deterministic and the refresh-decision kernel is what's under
+        # test here.
+        profile = RetentionProfile(
+            BankGeometry(n_rows, 8),
+            row_retention=np.asarray(binning.row_period, dtype=float) * 2,
+        )
+        return AVATARPolicy(binning, tau_full, profile, seed=int(rng.integers(0, 100)))
     mprsf = rng.integers(0, (1 << nbits), size=n_rows)
     cls = VRLPolicy if name == "vrl" else VRLAccessPolicy
     return cls(binning, mprsf, tau_full, tau_partial, nbits=nbits)

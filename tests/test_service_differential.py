@@ -16,7 +16,7 @@ import threading
 
 import pytest
 
-from repro.experiments import run_fig4, run_temperature_study
+from repro.experiments import run_fig4, run_mechanism_matrix, run_temperature_study
 from repro.runner import ExperimentRunner
 from repro.service import (
     LocalClient,
@@ -34,6 +34,11 @@ FIG4_KWARGS = dict(
     seed=5, include_power=False,
 )
 TEMP_KWARGS = dict(geometry=GEOMETRY, temperatures=(45.0, 55.0), seed=5)
+MECH_KWARGS = dict(
+    geometry=GEOMETRY, mechanisms=("fixed", "darp", "chargecache", "avatar"),
+    benchmarks=("blackscholes",), temperatures=(45.0,), duration_seconds=0.05,
+    seed=5,
+)
 
 
 @contextlib.contextmanager
@@ -75,8 +80,12 @@ def _table(result):
 
 @pytest.mark.parametrize(
     "driver, kwargs",
-    [(run_fig4, FIG4_KWARGS), (run_temperature_study, TEMP_KWARGS)],
-    ids=["fig4", "temperature"],
+    [
+        (run_fig4, FIG4_KWARGS),
+        (run_temperature_study, TEMP_KWARGS),
+        (run_mechanism_matrix, MECH_KWARGS),
+    ],
+    ids=["fig4", "temperature", "mechanisms"],
 )
 class TestDriverPathsIdentical:
     def test_runner_vs_local_client(self, driver, kwargs):
